@@ -1,0 +1,257 @@
+// Package asterixfeeds is the public face of this repository: a Go
+// reproduction of "Data Ingestion in AsterixDB" (EDBT 2015). It boots a
+// simulated shared-nothing AsterixDB instance — Hyracks execution layer,
+// LSM-based partitioned storage, metadata catalog, and the feed runtime that
+// is the paper's contribution — and drives it with the AQL subset of the
+// paper's listings.
+//
+// Quick start:
+//
+//	inst, _ := asterixfeeds.Start(asterixfeeds.Config{Nodes: []string{"A", "B"}})
+//	defer inst.Close()
+//	inst.MustExec(`
+//	    use dataverse feeds;
+//	    create type Tweet as open { id: string, message_text: string };
+//	    create dataset Tweets(Tweet) primary key id;
+//	    create feed TwitterFeed using tweetgen_adaptor ("rate"="1000");
+//	    connect feed TwitterFeed to dataset Tweets using policy Basic;
+//	`)
+package asterixfeeds
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/aql"
+	"asterixfeeds/internal/core"
+	"asterixfeeds/internal/hyracks"
+	"asterixfeeds/internal/lsm"
+	"asterixfeeds/internal/metadata"
+	"asterixfeeds/internal/storage"
+	"asterixfeeds/internal/tweetgen"
+)
+
+// Config configures an Instance. The zero value starts a single-node
+// instance in a temporary directory.
+type Config struct {
+	// Nodes names the worker nodes; default ["nc1"].
+	Nodes []string
+	// DataDir roots per-node storage; default a fresh temp dir (removed
+	// on Close).
+	DataDir string
+	// Hyracks tunes the execution layer.
+	Hyracks hyracks.Config
+	// Feeds tunes the Central Feed Manager.
+	Feeds core.Options
+	// LSM tunes the storage trees.
+	LSM lsm.Options
+}
+
+// Instance is a running simulated AsterixDB instance.
+type Instance struct {
+	cluster *hyracks.Cluster
+	catalog *metadata.Catalog
+	feeds   *core.Manager
+	dataDir string
+	ownDir  bool
+
+	mu        sync.Mutex
+	dataverse string
+	closed    bool
+}
+
+// Start boots an instance: the cluster with one storage manager per node,
+// the catalog, the Central Feed Manager (with TweetGen, socket, and file
+// adaptors installed), and the AQL UDF compiler hook.
+func Start(cfg Config) (*Instance, error) {
+	nodes := cfg.Nodes
+	if len(nodes) == 0 {
+		nodes = []string{"nc1"}
+	}
+	dataDir := cfg.DataDir
+	ownDir := false
+	if dataDir == "" {
+		d, err := os.MkdirTemp("", "asterixfeeds-*")
+		if err != nil {
+			return nil, err
+		}
+		dataDir = d
+		ownDir = true
+	}
+	cluster := hyracks.NewCluster(cfg.Hyracks, nodes...)
+	for _, n := range nodes {
+		sm := storage.NewManager(n, nodeDir(dataDir, n), cfg.LSM)
+		cluster.Node(n).SetService(storage.ServiceName, sm)
+	}
+	// Reload a previously persisted catalog (metadata survives restarts
+	// just as stored data does). Absent or unreadable images start fresh.
+	catalog := metadata.NewCatalog()
+	if img, err := os.ReadFile(catalogPath(dataDir)); err == nil {
+		if restored, err := metadata.LoadCatalog(img); err == nil {
+			catalog = restored
+		} else {
+			cluster.Close()
+			return nil, fmt.Errorf("asterixfeeds: corrupt catalog image: %w", err)
+		}
+	}
+	feeds := core.NewManager(cluster, catalog, cfg.Feeds)
+	tweetgen.RegisterAdaptor(feeds.Adaptors())
+
+	inst := &Instance{
+		cluster:   cluster,
+		catalog:   catalog,
+		feeds:     feeds,
+		dataDir:   dataDir,
+		ownDir:    ownDir,
+		dataverse: "Default",
+	}
+	catalog.CreateDataverse("Default") //nolint:errcheck // always succeeds
+	feeds.SetAQLCompiler(inst.compileAQLFunction)
+	return inst, nil
+}
+
+func nodeDir(root, node string) string { return root + "/" + node }
+
+func catalogPath(root string) string { return root + "/catalog.adm" }
+
+// saveCatalog snapshots the catalog to disk (best effort; called after DDL
+// statements and on Close).
+func (in *Instance) saveCatalog() error {
+	img, err := in.catalog.Marshal()
+	if err != nil {
+		return err
+	}
+	tmp := catalogPath(in.dataDir) + ".tmp"
+	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, catalogPath(in.dataDir))
+}
+
+// Cluster exposes the execution layer (node management, failure injection).
+func (in *Instance) Cluster() *hyracks.Cluster { return in.cluster }
+
+// Catalog exposes the metadata catalog.
+func (in *Instance) Catalog() *metadata.Catalog { return in.catalog }
+
+// Feeds exposes the Central Feed Manager (connections, adaptor and function
+// registries).
+func (in *Instance) Feeds() *core.Manager { return in.feeds }
+
+// Dataverse reports the session's active dataverse.
+func (in *Instance) Dataverse() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dataverse
+}
+
+// AddNode joins a new worker node (with storage) to the running instance.
+func (in *Instance) AddNode(name string) error {
+	n, err := in.cluster.AddNode(name)
+	if err != nil {
+		return err
+	}
+	n.SetService(storage.ServiceName, storage.NewManager(name, nodeDir(in.dataDir, name), lsm.Options{}))
+	return nil
+}
+
+// KillNode injects a hard failure of the named node.
+func (in *Instance) KillNode(name string) error { return in.cluster.KillNode(name) }
+
+// StorageManager returns the named node's storage manager.
+func (in *Instance) StorageManager(node string) (*storage.Manager, error) {
+	n := in.cluster.Node(node)
+	if n == nil {
+		return nil, fmt.Errorf("asterixfeeds: unknown node %q", node)
+	}
+	sm, _ := n.Service(storage.ServiceName).(*storage.Manager)
+	if sm == nil {
+		return nil, fmt.Errorf("asterixfeeds: node %q has no storage manager", node)
+	}
+	return sm, nil
+}
+
+// ScanDataset streams every record of the named dataset in the active
+// dataverse, across all live partitions. It implements aql.DataSource.
+func (in *Instance) ScanDataset(name string, fn func(*adm.Record) bool) error {
+	ds, ok := in.catalog.Dataset(in.Dataverse(), name)
+	if !ok {
+		return fmt.Errorf("asterixfeeds: unknown dataset %s", name)
+	}
+	for i, node := range ds.NodeGroup {
+		nc := in.cluster.Node(node)
+		if nc == nil || !nc.Alive() {
+			continue
+		}
+		sm, _ := nc.Service(storage.ServiceName).(*storage.Manager)
+		if sm == nil {
+			continue
+		}
+		p, err := sm.OpenPartitionIdx(ds, i, false)
+		if err != nil {
+			return err
+		}
+		stop := false
+		err = p.Scan(func(rec *adm.Record) bool {
+			if !fn(rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// DatasetCount reports the number of live records in the named dataset in
+// the active dataverse.
+func (in *Instance) DatasetCount(name string) (int, error) {
+	n := 0
+	err := in.ScanDataset(name, func(*adm.Record) bool { n++; return true })
+	return n, err
+}
+
+// compileAQLFunction is the core.AQLCompiler hook: stored AQL UDFs compile
+// against this instance's datasets and functions.
+func (in *Instance) compileAQLFunction(decl *metadata.FunctionDecl) (core.RecordFunction, error) {
+	resolver := func(name string) (*metadata.FunctionDecl, bool) {
+		return in.catalog.Function(decl.Dataverse, name)
+	}
+	return aql.CompileFunction(decl, in, resolver)
+}
+
+// Close shuts the instance down, closing feeds, jobs, and storage. The data
+// directory is removed only if the instance created it.
+func (in *Instance) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.closed = true
+	in.mu.Unlock()
+
+	in.saveCatalog() //nolint:errcheck // best effort on shutdown
+	in.feeds.Close()
+	in.cluster.Close()
+	var first error
+	for _, n := range in.cluster.AllNodes() {
+		if sm, err := in.StorageManager(n); err == nil {
+			if err := sm.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if in.ownDir {
+		os.RemoveAll(in.dataDir)
+	}
+	return first
+}

@@ -1,0 +1,174 @@
+package asterixfeeds_test
+
+// One benchmark per table and figure of the paper's evaluation (see
+// DESIGN.md's per-experiment index). Each benchmark executes the
+// corresponding experiment at the quick scale and reports the paper's
+// metric through b.ReportMetric, printing the full rows/series once.
+//
+// Run all of them:
+//
+//	go test -bench=. -benchmem
+//
+// For the longer report-scale variants, use cmd/feedbench.
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"asterixfeeds/internal/experiments"
+)
+
+// renderOnce avoids re-printing tables when the benchmark harness reruns a
+// function to settle timing.
+var renderOnce sync.Map
+
+func printOnce(key string, render func()) {
+	if _, loaded := renderOnce.LoadOrStore(key, true); !loaded {
+		render()
+	}
+}
+
+// BenchmarkTable51BatchVsFeed regenerates Table 5.1: average time per
+// record for batch inserts (size 1 and 20) versus feed ingestion.
+func BenchmarkTable51BatchVsFeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Table51Config{Records: 200, BatchSizes: []int{1, 20}, Preload: 200}
+		rows, err := experiments.Table51(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].AvgMsPerRecord, "batch1-ms/rec")
+		b.ReportMetric(rows[1].AvgMsPerRecord, "batch20-ms/rec")
+		b.ReportMetric(rows[2].AvgMsPerRecord, "feed-ms/rec")
+		printOnce("table5.1", func() { experiments.RenderTable51(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFig513CascadeVsIndependent regenerates Figure 5.13 (and the
+// Table 5.2 setup): records persisted under the cascade versus independent
+// network configurations across %OVERLAP.
+func BenchmarkFig513CascadeVsIndependent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig513Config(experiments.QuickScale())
+		cfg.Overlaps = []int{20, 80}
+		rows, err := experiments.Fig513(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.CascadeB), "cascadeB-recs")
+		b.ReportMetric(float64(last.IndependentB), "indepB-recs")
+		printOnce("fig5.13", func() { experiments.RenderFig513(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFig516Scalability regenerates Figures 5.14/5.16: records
+// ingested as the cluster grows under constant offered load.
+func BenchmarkFig516Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig516Config(experiments.QuickScale())
+		cfg.ClusterSizes = []int{1, 2, 4}
+		rows, err := experiments.Fig516(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := float64(rows[0].Persisted)
+		top := float64(rows[len(rows)-1].Persisted)
+		if base > 0 {
+			b.ReportMetric(top/base, "scaleup-x")
+		}
+		printOnce("fig5.16", func() { experiments.RenderFig516(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFig65FaultTolerance regenerates Figure 6.5: ingestion throughput
+// under injected node failures, reporting the measured recovery times.
+func BenchmarkFig65FaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig65(experiments.DefaultFig65Config(experiments.QuickScale()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Recovery1.Seconds()*1000, "recovery1-ms")
+		b.ReportMetric(res.Recovery2.Seconds()*1000, "recovery2-ms")
+		printOnce("fig6.5", func() { experiments.RenderFig65(os.Stdout, res) })
+	}
+}
+
+// BenchmarkFig7xPolicies regenerates Figures 7.3-7.8: the five builtin
+// ingestion policies under a square-wave arrival rate.
+func BenchmarkFig7xPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig7Config(experiments.QuickScale())
+		rows, err := experiments.Policies(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Policy {
+			case "Discard":
+				b.ReportMetric(float64(r.Discarded), "discarded-recs")
+			case "Spill":
+				b.ReportMetric(float64(r.Spilled), "spilled-recs")
+			case "Throttle":
+				b.ReportMetric(float64(r.ThrottledOut), "throttled-recs")
+			}
+		}
+		printOnce("fig7.x", func() { experiments.RenderPolicies(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFig79DiscardPattern and BenchmarkFig710ThrottlePattern
+// regenerate Figures 7.9/7.10: the persisted-record-ID patterns that
+// distinguish discarding (contiguous gaps) from throttling (uniform
+// sampling).
+func BenchmarkFig79DiscardPattern(b *testing.B) {
+	benchPatterns(b, "Discard")
+}
+
+// BenchmarkFig710ThrottlePattern is the throttle half of the pattern pair.
+func BenchmarkFig710ThrottlePattern(b *testing.B) {
+	benchPatterns(b, "Throttle")
+}
+
+func benchPatterns(b *testing.B, which string) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig7Config(experiments.QuickScale())
+		rows, err := experiments.DiscardVsThrottlePatterns(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Policy == which {
+				b.ReportMetric(float64(r.GapCount), "gaps")
+				b.ReportMetric(float64(r.MaxGapLen), "max-gap-recs")
+			}
+		}
+		printOnce("fig7.9-10", func() { experiments.RenderPatterns(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFig711StormMongoDurable regenerates Figure 7.11: the glued
+// Storm+MongoDB system with durable writes.
+func BenchmarkFig711StormMongoDurable(b *testing.B) {
+	benchStormMongo(b, true, "fig7.11")
+}
+
+// BenchmarkFig712StormMongoNonDurable regenerates Figure 7.12: the same
+// glued system with non-durable writes.
+func BenchmarkFig712StormMongoNonDurable(b *testing.B) {
+	benchStormMongo(b, false, "fig7.12")
+}
+
+func benchStormMongo(b *testing.B, durable bool, key string) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultStormMongoConfig(experiments.QuickScale(), b.TempDir())
+		res, err := experiments.StormMongo(cfg, durable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.PersistedTotal), "persisted-recs")
+		printOnce(key, func() { experiments.RenderStormMongo(os.Stdout, res) })
+	}
+}

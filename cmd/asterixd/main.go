@@ -1,0 +1,145 @@
+// Command asterixd runs a simulated multi-node AsterixDB instance in one
+// process and serves an AQL REPL on stdin/stdout. Statements end with ';'.
+//
+// Usage:
+//
+//	asterixd -nodes 4
+//	echo 'use dataverse feeds; ...' | asterixd -nodes 2
+//
+// REPL extras beyond AQL:
+//
+//	\status           show connections, their states and throughput
+//	\count <dataset>  count a dataset's records
+//	\kill <node>      inject a hard node failure
+//	\quit             exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"asterixfeeds"
+	"asterixfeeds/internal/adm"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2, "number of simulated worker nodes")
+	dataDir := flag.String("data", "", "data directory (default: temp)")
+	httpAddr := flag.String("http", "", "serve the feed management console at this address (e.g. :19002)")
+	flag.Parse()
+
+	names := make([]string, *nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("nc%d", i+1)
+	}
+	inst, err := asterixfeeds.Start(asterixfeeds.Config{Nodes: names, DataDir: *dataDir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asterixd: %v\n", err)
+		os.Exit(1)
+	}
+	defer inst.Close()
+	fmt.Printf("asterixd: %d-node instance up (%s). End statements with ';'.\n",
+		*nodes, strings.Join(names, ", "))
+	if *httpAddr != "" {
+		go func() {
+			fmt.Printf("asterixd: console at http://%s/admin/status\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, inst.ConsoleHandler()); err != nil {
+				fmt.Fprintf(os.Stderr, "asterixd: console: %v\n", err)
+			}
+		}()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var pending strings.Builder
+	prompt := func() { fmt.Print("aql> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, `\`) {
+			handleCommand(inst, trimmed)
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			continue
+		}
+		src := pending.String()
+		pending.Reset()
+		results, err := inst.Exec(src)
+		for _, r := range results {
+			printResult(r)
+		}
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+		prompt()
+	}
+}
+
+func printResult(r asterixfeeds.Result) {
+	switch r.Kind {
+	case "query":
+		if lst, ok := r.Value.(*adm.OrderedList); ok {
+			for _, item := range lst.Items {
+				fmt.Println(item)
+			}
+			fmt.Printf("(%d result(s))\n", len(lst.Items))
+			return
+		}
+		fmt.Println(r.Value)
+	default:
+		fmt.Printf("ok: %s\n", r.Message)
+	}
+}
+
+func handleCommand(inst *asterixfeeds.Instance, cmd string) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		inst.Close()
+		os.Exit(0)
+	case `\status`:
+		conns := inst.Feeds().Connections()
+		if len(conns) == 0 {
+			fmt.Println("no feed connections")
+			return
+		}
+		for _, c := range conns {
+			intake, compute, store := c.Locations()
+			fmt.Printf("%s [%s] persisted=%d softfail=%d intake=%v compute=%v store=%v\n",
+				c.ID(), c.State(), c.Metrics.Persisted.Total(), c.Metrics.SoftFailures.Value(),
+				intake, compute, store)
+		}
+	case `\count`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\count <dataset>")
+			return
+		}
+		n, err := inst.DatasetCount(fields[1])
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("%s: %d record(s)\n", fields[1], n)
+	case `\kill`:
+		if len(fields) < 2 {
+			fmt.Println("usage: \\kill <node>")
+			return
+		}
+		if err := inst.KillNode(fields[1]); err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("node %s killed\n", fields[1])
+	default:
+		fmt.Printf("unknown command %s\n", fields[0])
+	}
+}

@@ -1,0 +1,109 @@
+// Command feedbench regenerates the paper's evaluation: every table and
+// figure has an experiment id, and each run prints the corresponding rows
+// or throughput series (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	feedbench -exp table5.1          # batch inserts vs feed
+//	feedbench -exp fig5.13           # cascade vs independent networks
+//	feedbench -exp fig5.16           # scalability
+//	feedbench -exp fig6.5            # fault tolerance
+//	feedbench -exp fig7.policies     # ingestion policies
+//	feedbench -exp fig7.9            # discard vs throttle patterns
+//	feedbench -exp fig7.11           # Storm+MongoDB durable & non-durable
+//	feedbench -exp all               # everything
+//	feedbench -quick                 # use the short CI scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asterixfeeds/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table5.1, fig5.13, fig5.16, fig6.5, fig7.policies, fig7.9, fig7.11, all)")
+	quick := flag.Bool("quick", false, "use the short (CI) time scale")
+	flag.Parse()
+
+	scale := experiments.ReportScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+
+	run := func(id string) error {
+		fmt.Printf("\n===== %s =====\n", id)
+		switch id {
+		case "table5.1":
+			cfg := experiments.DefaultTable51Config()
+			rows, err := experiments.Table51(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable51(os.Stdout, rows)
+		case "fig5.13":
+			rows, err := experiments.Fig513(experiments.DefaultFig513Config(scale))
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig513(os.Stdout, rows)
+		case "fig5.16":
+			rows, err := experiments.Fig516(experiments.DefaultFig516Config(scale))
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig516(os.Stdout, rows)
+		case "fig6.5":
+			res, err := experiments.Fig65(experiments.DefaultFig65Config(scale))
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig65(os.Stdout, res)
+		case "fig7.policies":
+			rows, err := experiments.Policies(experiments.DefaultFig7Config(scale), nil)
+			if err != nil {
+				return err
+			}
+			experiments.RenderPolicies(os.Stdout, rows)
+		case "fig7.9":
+			rows, err := experiments.DiscardVsThrottlePatterns(experiments.DefaultFig7Config(scale))
+			if err != nil {
+				return err
+			}
+			experiments.RenderPatterns(os.Stdout, rows)
+		case "fig7.11":
+			tmp, err := os.MkdirTemp("", "feedbench-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			cfg := experiments.DefaultStormMongoConfig(scale, tmp)
+			durable, err := experiments.StormMongo(cfg, true)
+			if err != nil {
+				return err
+			}
+			experiments.RenderStormMongo(os.Stdout, durable)
+			nondurable, err := experiments.StormMongo(cfg, false)
+			if err != nil {
+				return err
+			}
+			experiments.RenderStormMongo(os.Stdout, nondurable)
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table5.1", "fig5.13", "fig5.16", "fig6.5", "fig7.policies", "fig7.9", "fig7.11"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "feedbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command tweetgen runs the paper's TweetGen external data source as a
+// standalone process (§5.7): it listens on a TCP port, waits for a
+// receiver's initial handshake line, and pushes newline-delimited JSON
+// tweets following a rate pattern.
+//
+// Usage:
+//
+//	tweetgen -listen :9000 -rate 5000 -duration 400
+//	tweetgen -listen :9000 -pattern pattern.xml -seed 7
+//
+// A feed consumes it through the generic socket adaptor:
+//
+//	create feed TweetGenFeed using socket_adaptor ("sockets"="host:9000");
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asterixfeeds/internal/tweetgen"
+)
+
+func main() {
+	listen := flag.String("listen", ":9000", "address to listen on")
+	rate := flag.Int("rate", 1000, "tweets per second")
+	duration := flag.Float64("duration", 0, "seconds to emit (0 = forever)")
+	patternPath := flag.String("pattern", "", "pattern descriptor XML file (overrides -rate/-duration)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	var pattern tweetgen.Pattern
+	if *patternPath != "" {
+		doc, err := os.ReadFile(*patternPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tweetgen: %v\n", err)
+			os.Exit(1)
+		}
+		p, err := tweetgen.ParsePattern(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tweetgen: %v\n", err)
+			os.Exit(1)
+		}
+		pattern = p
+	} else {
+		pattern = tweetgen.ConstantPattern(*rate, time.Duration(*duration*float64(time.Second)))
+	}
+
+	srv := tweetgen.NewServer(pattern, *seed)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tweetgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tweetgen: listening on %s (send one line to start the flow)\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Printf("tweetgen: pushed %d tweets\n", srv.Sent())
+}

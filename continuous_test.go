@@ -1,0 +1,82 @@
+package asterixfeeds
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"asterixfeeds/internal/adm"
+)
+
+func TestContinuousQueryDeliversNewResults(t *testing.T) {
+	inst := startTest(t, "A")
+	inst.MustExec(tweetDDL)
+	inst.MustExec(`
+		create feed F using tweetgen_adaptor ("rate"="500", "count"="200", "seed"="41");
+		connect feed F to dataset Tweets using policy Basic;
+	`)
+	// A standing subscription over the ingested stream.
+	q, err := inst.StartContinuousQuery(
+		`for $t in dataset Tweets return $t.id`, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Stop()
+
+	seen := map[string]bool{}
+	deadline := time.After(30 * time.Second)
+	for len(seen) < 200 {
+		select {
+		case v, ok := <-q.Results():
+			if !ok {
+				t.Fatalf("results closed early after %d ids: %v", len(seen), q.Err())
+			}
+			id := string(v.(adm.String))
+			if seen[id] {
+				t.Fatalf("duplicate delivery of %s", id)
+			}
+			seen[id] = true
+		case <-deadline:
+			t.Fatalf("only %d/200 ids delivered", len(seen))
+		}
+	}
+	// Stop closes the channel.
+	q.Stop()
+	deadline2 := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-q.Results():
+			if !ok {
+				return
+			}
+		case <-deadline2:
+			t.Fatal("Results never closed after Stop")
+		}
+	}
+}
+
+func TestContinuousQueryErrors(t *testing.T) {
+	inst := startTest(t, "A")
+	if _, err := inst.StartContinuousQuery(`((( bad`, time.Millisecond); err == nil {
+		t.Fatal("unparseable continuous query accepted")
+	}
+	// A query that fails at evaluation time surfaces through Err.
+	q, err := inst.StartContinuousQuery(`for $t in dataset NoSuch return $t`, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-q.Results():
+			if !ok {
+				if q.Err() == nil || !strings.Contains(q.Err().Error(), "NoSuch") {
+					t.Fatalf("Err = %v", q.Err())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("failing query never terminated")
+		}
+	}
+}

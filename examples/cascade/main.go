@@ -1,0 +1,85 @@
+// Cascade: the fetch-once/compute-many model of Chapter 4. One connection
+// to the external source drives three feeds: the raw TwitterFeed, a
+// ProcessedTwitterFeed with an AQL hashtag-extraction UDF, and a
+// SentimentFeed with a "Java" (external) sentiment UDF — each persisted in
+// its own dataset, sharing the head section and intermediate computation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"asterixfeeds"
+	"asterixfeeds/internal/adm"
+)
+
+func main() {
+	inst, err := asterixfeeds.Start(asterixfeeds.Config{Nodes: []string{"nc1", "nc2", "nc3"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	inst.MustExec(`
+		use dataverse feeds;
+		create type Tweet as open { id: string, message_text: string };
+		create dataset Tweets(Tweet) primary key id;
+		create dataset ProcessedTweets(Tweet) primary key id;
+		create dataset TwitterSentiments(Tweet) primary key id;
+
+		create function addHashTags($x) {
+			let $topics := (for $token in word-tokens($x.message_text)
+				where starts-with($token, "#")
+				return $token)
+			return record-merge($x, {"topics": $topics})
+		};
+
+		create feed TwitterFeed using tweetgen_adaptor ("rate"="3000", "seed"="42");
+		create secondary feed ProcessedTwitterFeed from feed TwitterFeed
+			apply function addHashTags;
+		create secondary feed SentimentFeed from feed ProcessedTwitterFeed
+			apply function "tweetlib#sentimentAnalysis";
+
+		connect feed TwitterFeed to dataset Tweets using policy Basic;
+		connect feed ProcessedTwitterFeed to dataset ProcessedTweets using policy Basic;
+		connect feed SentimentFeed to dataset TwitterSentiments using policy Basic;
+	`)
+	fmt.Println("cascade network connected; ingesting for 2 seconds...")
+	time.Sleep(2 * time.Second)
+
+	// Every connection shares one head: a single flow of data from the
+	// external source (Figure 4.2).
+	for _, conn := range inst.Feeds().Connections() {
+		intake, compute, store := conn.Locations()
+		fmt.Printf("%-60s state=%s persisted=%d\n    intake=%v compute=%v store=%v\n",
+			conn.ID(), conn.State(), conn.Metrics.Persisted.Total(), intake, compute, store)
+	}
+
+	// Disconnect the parent: its compute stage stays alive because the
+	// children still draw from its joints (Figure 5.10).
+	inst.MustExec(`disconnect feed TwitterFeed from dataset Tweets;`)
+	conn, _ := inst.Feeds().Connection("feeds", "TwitterFeed", "Tweets")
+	fmt.Printf("\nafter disconnecting TwitterFeed: state=%s (children keep flowing)\n", conn.State())
+	time.Sleep(500 * time.Millisecond)
+
+	for _, name := range []string{"Tweets", "ProcessedTweets", "TwitterSentiments"} {
+		n, err := inst.DatasetCount(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %6d records\n", name, n)
+	}
+
+	// Sample one sentiment record.
+	err = inst.ScanDataset("TwitterSentiments", func(rec *adm.Record) bool {
+		s, _ := rec.Field("sentiment")
+		topics, _ := rec.Field("topics")
+		id, _ := rec.Field("id")
+		fmt.Printf("sample: id=%s sentiment=%s topics=%s\n", id, s, topics)
+		return false
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// EventShop: the situation-awareness use case of Chapter 8 (§8.4). Geo-
+// tagged tweets stream in through a feed; an AQL UDF materializes each
+// tweet's location as an ADM point; an R-tree index supports spatial
+// retrieval; and a continuous query maintains a spatial-cell "heat map"
+// (the E-mage of EventShop) over the most interesting region.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"asterixfeeds"
+	"asterixfeeds/internal/adm"
+)
+
+func main() {
+	inst, err := asterixfeeds.Start(asterixfeeds.Config{Nodes: []string{"nc1", "nc2"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	inst.MustExec(`
+		use dataverse eventshop;
+
+		create type Tweet as open {
+			id: string,
+			latitude: double?,
+			longitude: double?,
+			message_text: string
+		};
+		create dataset GeoTweets(Tweet) primary key id;
+		create index locationIndex on GeoTweets(location) type rtree;
+
+		create function withLocation($t) {
+			record-merge($t, {"location": create-point($t.longitude, $t.latitude)})
+		};
+
+		create feed TweetFeed using tweetgen_adaptor ("rate"="3000", "seed"="88");
+		create secondary feed GeoFeed from feed TweetFeed apply function withLocation;
+		connect feed GeoFeed to dataset GeoTweets using policy Basic;
+	`)
+
+	// A standing heat-map query over the continental-US bounding box
+	// (Listing 3.3's spatial aggregation), re-evaluated twice a second.
+	heatmap := `for $t in dataset GeoTweets
+		let $region := create-rectangle(create-point(-125.0, 24.0), create-point(-66.0, 49.0))
+		where spatial-intersect($t.location, $region)
+		group by $c := spatial-cell($t.location, create-point(-125.0, 24.0), 15.0, 13.0) with $t
+		return {"cell": $c, "count": count($t)}`
+
+	fmt.Println("ingesting geo-tweets and maintaining the heat map...")
+	for round := 1; round <= 4; round++ {
+		time.Sleep(500 * time.Millisecond)
+		v, err := inst.Query(heatmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cells := v.(*adm.OrderedList).Items
+		total := int64(0)
+		type cellCount struct {
+			rect  adm.Rectangle
+			count int64
+		}
+		var cc []cellCount
+		for _, item := range cells {
+			rec := item.(*adm.Record)
+			n, _ := rec.Field("count")
+			c, _ := rec.Field("cell")
+			cc = append(cc, cellCount{c.(adm.Rectangle), int64(n.(adm.Int64))})
+			total += int64(n.(adm.Int64))
+		}
+		sort.Slice(cc, func(i, j int) bool { return cc[i].count > cc[j].count })
+		fmt.Printf("t=%.1fs: %d tweets across %d cells; hottest:\n", float64(round)*0.5, total, len(cc))
+		for i, c := range cc {
+			if i == 3 {
+				break
+			}
+			fmt.Printf("  cell [%.0f,%.0f]x[%.0f,%.0f]: %d tweets\n",
+				c.rect.Low.X, c.rect.Low.Y, c.rect.High.X, c.rect.High.Y, c.count)
+		}
+	}
+
+	// The R-tree index answers the point-in-region retrievals directly.
+	sm, err := inst.StorageManager("nc1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	part := sm.Partition("eventshop.GeoTweets")
+	if part != nil {
+		west := adm.Rectangle{Low: adm.Point{X: -125, Y: 24}, High: adm.Point{X: -100, Y: 49}}
+		recs, err := part.SearchRTree("locationIndex", west)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rtree: %d of this partition's tweets are in the western US\n", len(recs))
+	}
+}

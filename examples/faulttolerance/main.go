@@ -1,0 +1,99 @@
+// Fault tolerance: Chapter 6's scenario. A cascade of two feeds ingests on
+// a multi-node cluster under the FaultTolerant policy; a compute node is
+// killed mid-flight. The Central Feed Manager detects the loss via missed
+// heartbeats, chooses a substitute, re-schedules the tail, and the revived
+// intake adopts the backlog its predecessor's subscription buffered.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"asterixfeeds"
+	"asterixfeeds/internal/core"
+)
+
+func main() {
+	inst, err := asterixfeeds.Start(asterixfeeds.Config{
+		Nodes: []string{"nc1", "nc2", "nc3", "nc4", "nc5"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	inst.MustExec(`
+		use dataverse feeds;
+		create type Tweet as open { id: string, message_text: string };
+		create dataset ProcessedTweets(Tweet) primary key id;
+	`)
+	// Pin the dataset to two nodes so killing a compute node cannot lose
+	// a storage partition (store-node loss terminates a feed: §6.2.3).
+	ds, _ := inst.Catalog().Dataset("feeds", "ProcessedTweets")
+	ds.NodeGroup = []string{"nc1", "nc2"}
+
+	inst.MustExec(`
+		use dataverse feeds;
+		create feed TweetGenFeed using tweetgen_adaptor ("rate"="3000", "seed"="9")
+			apply function "tweetlib#sentimentAnalysis";
+		connect feed TweetGenFeed to dataset ProcessedTweets using policy FaultTolerant;
+	`)
+	conn, _ := inst.Feeds().Connection("feeds", "TweetGenFeed", "ProcessedTweets")
+
+	time.Sleep(time.Second)
+	intake, compute, store := conn.Locations()
+	fmt.Printf("pipeline: intake=%v compute=%v store=%v\n", intake, compute, store)
+	before, _ := inst.DatasetCount("ProcessedTweets")
+	fmt.Printf("t=1s: %d records ingested\n", before)
+
+	// Kill a compute-only node.
+	victim := ""
+	for _, c := range compute {
+		if c != "nc1" && c != "nc2" && !contains(intake, c) {
+			victim = c
+			break
+		}
+	}
+	if victim == "" {
+		log.Fatal("no compute-only node to kill")
+	}
+	fmt.Printf("killing compute node %s ...\n", victim)
+	killedAt := time.Now()
+	if err := inst.KillNode(victim); err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the fault-tolerance protocol run.
+	for conn.State() != core.ConnConnected || sameNode(conn, victim) {
+		if conn.State() == core.ConnFailed {
+			log.Fatalf("connection failed: %v", conn.Err())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("recovered in %v\n", time.Since(killedAt).Round(time.Millisecond))
+	_, newCompute, _ := conn.Locations()
+	fmt.Printf("compute stage re-scheduled to %v\n", newCompute)
+
+	time.Sleep(time.Second)
+	after, _ := inst.DatasetCount("ProcessedTweets")
+	fmt.Printf("t=2s: %d records ingested (+%d after the failure)\n", after, after-before)
+	if after <= before {
+		log.Fatal("ingestion did not resume")
+	}
+	fmt.Println("ingestion survived the hardware failure")
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sameNode(conn *core.Connection, victim string) bool {
+	_, compute, _ := conn.Locations()
+	return contains(compute, victim)
+}

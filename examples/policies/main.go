@@ -1,0 +1,66 @@
+// Policies: Chapter 7's data-indigestion scenario. The same overloading
+// square-wave workload runs under the Discard, Throttle, and Spill
+// policies; each policy's handling of excess records is reported, plus a
+// custom Spill_then_Throttle policy composed from a builtin (Listing 4.6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"asterixfeeds"
+	"asterixfeeds/internal/core"
+	"asterixfeeds/internal/hyracks"
+)
+
+func main() {
+	for _, policy := range []string{"Discard", "Throttle", "Spill", "Spill_then_Throttle"} {
+		if err := runOnce(policy); err != nil {
+			log.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
+func runOnce(policy string) error {
+	inst, err := asterixfeeds.Start(asterixfeeds.Config{
+		Nodes:   []string{"nc1", "nc2"},
+		Hyracks: hyracks.Config{},
+	})
+	if err != nil {
+		return err
+	}
+	defer inst.Close()
+
+	inst.MustExec(`
+		use dataverse feeds;
+		create type Tweet as open { id: string, message_text: string };
+		create dataset Tweets(Tweet) primary key id;
+
+		create ingestion policy Spill_then_Throttle from policy Spill
+			(("max.spill.size.on.disk"="1MB", "excess.records.throttle"="true"));
+	`)
+	// A latency-bound UDF caps one compute partition at ~2000 rec/s; the
+	// generator alternates 1000 and 6000 rec/s.
+	inst.Feeds().Functions().Register(core.DelayFunction("lib#slow", 500*time.Microsecond))
+	inst.MustExec(`
+		use dataverse feeds;
+		create feed WaveFeed using tweetgen_adaptor
+			("pattern"="<pattern><cycle repeat=\"2\"><interval><duration>0.5</duration><rate>1000</rate></interval><interval><duration>0.5</duration><rate>6000</rate></interval></cycle></pattern>")
+		apply function "lib#slow";
+	`)
+	conn, err := inst.Feeds().ConnectFeed("feeds", "WaveFeed", "Tweets", policy,
+		core.WithComputeCount(1))
+	if err != nil {
+		return err
+	}
+
+	time.Sleep(2500 * time.Millisecond)
+	n, err := inst.DatasetCount("Tweets")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s persisted=%6d softFailures=%d state=%s\n",
+		policy, n, conn.Metrics.SoftFailures.Value(), conn.State())
+	return nil
+}

@@ -1,0 +1,3 @@
+module asterixfeeds
+
+go 1.22

@@ -1,0 +1,248 @@
+package adm
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Compare totally orders two ADM values. Values of different type tags order
+// by tag (missing < null < boolean < int64/double < string < ...), except
+// that int64 and double compare numerically against each other. Within a
+// tag, natural ordering applies; records compare field-wise over the union
+// of sorted field names, with absent fields ordering first.
+func Compare(a, b Value) int {
+	at, bt := a.Tag(), b.Tag()
+	// Numeric cross-type comparison.
+	if isNumeric(at) && isNumeric(bt) {
+		af, _ := AsDouble(a)
+		bf, _ := AsDouble(b)
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		// Equal numerically: break ties by tag so ordering stays total
+		// and consistent with equality (int64 1 != double 1.0 as values,
+		// but they compare equal for indexing purposes).
+		return 0
+	}
+	if at != bt {
+		if at < bt {
+			return -1
+		}
+		return 1
+	}
+	switch av := a.(type) {
+	case Missing, Null:
+		return 0
+	case Boolean:
+		bv := b.(Boolean)
+		switch {
+		case !bool(av) && bool(bv):
+			return -1
+		case bool(av) && !bool(bv):
+			return 1
+		}
+		return 0
+	case String:
+		bv := b.(String)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case Datetime:
+		bv := b.(Datetime)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	case Point:
+		bv := b.(Point)
+		if c := cmpFloat(av.X, bv.X); c != 0 {
+			return c
+		}
+		return cmpFloat(av.Y, bv.Y)
+	case Rectangle:
+		bv := b.(Rectangle)
+		if c := Compare(av.Low, bv.Low); c != 0 {
+			return c
+		}
+		return Compare(av.High, bv.High)
+	case *OrderedList:
+		bv := b.(*OrderedList)
+		return compareLists(av.Items, bv.Items)
+	case *UnorderedList:
+		bv := b.(*UnorderedList)
+		return compareLists(sortedItems(av.Items), sortedItems(bv.Items))
+	case *Record:
+		bv := b.(*Record)
+		return compareRecords(av, bv)
+	}
+	return 0
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+func isNumeric(t TypeTag) bool { return t == TagInt64 || t == TagDouble }
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareLists(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func sortedItems(items []Value) []Value {
+	out := append([]Value(nil), items...)
+	sort.SliceStable(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+func compareRecords(a, b *Record) int {
+	names := map[string]bool{}
+	for _, n := range a.names {
+		names[n] = true
+	}
+	for _, n := range b.names {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		av, aok := a.Field(n)
+		bv, bok := b.Field(n)
+		switch {
+		case !aok && bok:
+			return -1
+		case aok && !bok:
+			return 1
+		case !aok && !bok:
+			continue
+		}
+		if c := Compare(av, bv); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Hash computes a 64-bit hash of the value, consistent with Equal: equal
+// values hash identically. Int64 and double values that are numerically
+// equal hash identically too.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h, v)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func hashInto(h hasher, v Value) {
+	writeByte := func(b byte) { h.Write([]byte{b}) }
+	write64 := func(u uint64) {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	switch t := v.(type) {
+	case Missing:
+		writeByte(byte(TagMissing))
+	case Null:
+		writeByte(byte(TagNull))
+	case Boolean:
+		writeByte(byte(TagBoolean))
+		if t {
+			writeByte(1)
+		} else {
+			writeByte(0)
+		}
+	case Int64:
+		// Hash numerics through their float64 representation so that
+		// Int64(1) and Double(1) hash alike, matching Compare.
+		writeByte(0xFE)
+		write64(math.Float64bits(float64(t)))
+	case Double:
+		writeByte(0xFE)
+		write64(math.Float64bits(canonicalFloat(float64(t))))
+	case String:
+		writeByte(byte(TagString))
+		h.Write([]byte(t))
+	case Datetime:
+		writeByte(byte(TagDatetime))
+		write64(uint64(t))
+	case Point:
+		writeByte(byte(TagPoint))
+		write64(math.Float64bits(canonicalFloat(t.X)))
+		write64(math.Float64bits(canonicalFloat(t.Y)))
+	case Rectangle:
+		writeByte(byte(TagRectangle))
+		hashInto(h, t.Low)
+		hashInto(h, t.High)
+	case *OrderedList:
+		writeByte(byte(TagOrderedList))
+		for _, it := range t.Items {
+			hashInto(h, it)
+		}
+	case *UnorderedList:
+		writeByte(byte(TagUnorderedList))
+		for _, it := range sortedItems(t.Items) {
+			hashInto(h, it)
+		}
+	case *Record:
+		writeByte(byte(TagRecord))
+		names := append([]string(nil), t.names...)
+		sort.Strings(names)
+		for _, n := range names {
+			h.Write([]byte(n))
+			writeByte(0)
+			fv, _ := t.Field(n)
+			hashInto(h, fv)
+		}
+	}
+}
+
+// canonicalFloat maps -0 to +0 so that equal floats hash identically.
+func canonicalFloat(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return f
+}

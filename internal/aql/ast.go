@@ -1,0 +1,258 @@
+package aql
+
+import "asterixfeeds/internal/adm"
+
+// Statement is a parsed AQL statement.
+type Statement interface{ stmt() }
+
+// UseDataverse switches the session's active dataverse.
+type UseDataverse struct {
+	Name string
+}
+
+// CreateDataverse declares a dataverse.
+type CreateDataverse struct {
+	Name        string
+	IfNotExists bool
+}
+
+// TypeField is one field of a type declaration.
+type TypeField struct {
+	// Name is the field name.
+	Name string
+	// TypeName names the field type (primitive or previously declared).
+	TypeName string
+	// List marks an ordered-list type ([TypeName]).
+	List bool
+	// Optional marks the field nullable/omittable (`?`).
+	Optional bool
+}
+
+// CreateType declares a record type.
+type CreateType struct {
+	Name   string
+	Open   bool
+	Fields []TypeField
+}
+
+// CreateDataset declares a dataset of an existing type. Replicated enables
+// the synchronous partition replication extension (`with replication`).
+type CreateDataset struct {
+	Name       string
+	TypeName   string
+	PrimaryKey []string
+	Replicated bool
+}
+
+// CreateIndex declares a secondary index.
+type CreateIndex struct {
+	Name    string
+	Dataset string
+	Field   string
+	Kind    string // "btree" (default) or "rtree"
+}
+
+// CreateFeed declares a primary or secondary feed.
+type CreateFeed struct {
+	Name      string
+	Secondary bool
+	// Adaptor and Config apply to primary feeds.
+	Adaptor string
+	Config  map[string]string
+	// SourceFeed applies to secondary feeds.
+	SourceFeed string
+	// ApplyFunction is the optional pre-processing UDF.
+	ApplyFunction string
+}
+
+// CreateFunction declares an AQL UDF.
+type CreateFunction struct {
+	Name   string
+	Params []string // with $ prefix
+	Body   Expr
+	// BodyText preserves the body's source for catalog storage.
+	BodyText string
+}
+
+// CreatePolicy declares an ingestion policy derived from a base policy.
+type CreatePolicy struct {
+	Name   string
+	From   string
+	Params map[string]string
+}
+
+// ConnectFeed starts the flow of a feed into a dataset.
+type ConnectFeed struct {
+	Feed    string
+	Dataset string
+	Policy  string
+}
+
+// DisconnectFeed stops the flow of a feed into a dataset.
+type DisconnectFeed struct {
+	Feed    string
+	Dataset string
+}
+
+// LoadDataset bulk-loads records from a file into a dataset.
+type LoadDataset struct {
+	Dataset string
+	Path    string
+}
+
+// InsertInto inserts the records produced by Body into a dataset.
+type InsertInto struct {
+	Dataset string
+	Body    Expr
+}
+
+// Drop removes a catalog object: Kind is one of "dataset", "feed",
+// "function", "policy".
+type Drop struct {
+	Kind string
+	Name string
+}
+
+// Query evaluates a standalone expression (typically FLWOR).
+type Query struct {
+	Body Expr
+}
+
+func (*UseDataverse) stmt()    {}
+func (*CreateDataverse) stmt() {}
+func (*CreateType) stmt()      {}
+func (*CreateDataset) stmt()   {}
+func (*CreateIndex) stmt()     {}
+func (*CreateFeed) stmt()      {}
+func (*CreateFunction) stmt()  {}
+func (*CreatePolicy) stmt()    {}
+func (*ConnectFeed) stmt()     {}
+func (*DisconnectFeed) stmt()  {}
+func (*LoadDataset) stmt()     {}
+func (*InsertInto) stmt()      {}
+func (*Drop) stmt()            {}
+func (*Query) stmt()           {}
+
+// Expr is a parsed AQL expression.
+type Expr interface{ expr() }
+
+// Literal is a constant ADM value.
+type Literal struct {
+	Value adm.Value
+}
+
+// VarRef references a bound variable ($x).
+type VarRef struct {
+	Name string // includes the $
+}
+
+// FieldAccess is expr.field.
+type FieldAccess struct {
+	Base  Expr
+	Field string
+}
+
+// IndexAccess is expr[idx].
+type IndexAccess struct {
+	Base  Expr
+	Index Expr
+}
+
+// RecordCtor constructs a record: {"a": e1, ...}.
+type RecordCtor struct {
+	Names  []string
+	Values []Expr
+}
+
+// ListCtor constructs an ordered list: [e1, e2, ...].
+type ListCtor struct {
+	Items []Expr
+}
+
+// Call invokes a builtin or named function.
+type Call struct {
+	Name string // may be "lib#fn"
+	Args []Expr
+}
+
+// DatasetRef references a stored dataset inside a FLWOR for clause.
+type DatasetRef struct {
+	Name string
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string // = != < <= > >= + - * / and or
+	L, R Expr
+}
+
+// Unary is a unary operation ("not", "-").
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// ForClause is one `for $v in e` binding.
+type ForClause struct {
+	Var string
+	In  Expr
+}
+
+// LetClause is one `let $v := e` binding.
+type LetClause struct {
+	Var string
+	E   Expr
+}
+
+// GroupBy groups tuples by a key expression, rebinding With to the list of
+// its per-group values (the AQL `group by $k := e with $v` form).
+type GroupBy struct {
+	Var  string
+	Key  Expr
+	With string
+}
+
+// OrderBy sorts the tuple stream by a key expression.
+type OrderBy struct {
+	Key  Expr
+	Desc bool
+}
+
+// FLWOR is a for/let/where/group/order/return expression.
+type FLWOR struct {
+	// Clauses holds ForClause and LetClause values in source order.
+	Clauses []any
+	Where   Expr
+	Group   *GroupBy
+	Order   *OrderBy
+	Limit   int // 0 = no limit
+	Return  Expr
+}
+
+// Some is the quantified `some $x in e satisfies p` expression.
+type Some struct {
+	Var       string
+	In        Expr
+	Satisfies Expr
+}
+
+// Every is the quantified `every $x in e satisfies p` expression.
+type Every struct {
+	Var       string
+	In        Expr
+	Satisfies Expr
+}
+
+func (*Literal) expr()     {}
+func (*VarRef) expr()      {}
+func (*FieldAccess) expr() {}
+func (*IndexAccess) expr() {}
+func (*RecordCtor) expr()  {}
+func (*ListCtor) expr()    {}
+func (*Call) expr()        {}
+func (*DatasetRef) expr()  {}
+func (*Binary) expr()      {}
+func (*Unary) expr()       {}
+func (*FLWOR) expr()       {}
+func (*Some) expr()        {}
+func (*Every) expr()       {}

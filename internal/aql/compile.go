@@ -1,0 +1,99 @@
+package aql
+
+import (
+	"fmt"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/metadata"
+)
+
+// CompiledFunction is an executable AQL UDF: a unary function over records,
+// suitable for use as a feed pre-processing stage.
+type CompiledFunction struct {
+	decl *metadata.FunctionDecl
+	body Expr
+	ev   *Evaluator
+}
+
+// CompileFunction compiles a stored AQL function declaration (single record
+// parameter) into an executable form. resolver, when non-nil, resolves
+// nested UDF calls by name; source, when non-nil, gives the body access to
+// datasets (the AQL-UDF-with-query case of §4.2).
+func CompileFunction(decl *metadata.FunctionDecl, source DataSource,
+	resolver func(name string) (*metadata.FunctionDecl, bool)) (*CompiledFunction, error) {
+	if decl.Kind != metadata.AQLFunction {
+		return nil, fmt.Errorf("aql: %s is not an AQL function", decl.QualifiedName())
+	}
+	if len(decl.Params) != 1 {
+		return nil, fmt.Errorf("aql: feed UDF %s must take exactly one parameter, has %d",
+			decl.QualifiedName(), len(decl.Params))
+	}
+	body, err := ParseExpr(decl.Body)
+	if err != nil {
+		return nil, fmt.Errorf("aql: compiling %s: %w", decl.QualifiedName(), err)
+	}
+	cf := &CompiledFunction{decl: decl, body: body}
+	cf.ev = &Evaluator{Source: source}
+	if resolver != nil {
+		cf.ev.Functions = func(name string) (func([]adm.Value) (adm.Value, error), bool) {
+			nested, ok := resolver(name)
+			if !ok || nested.Kind != metadata.AQLFunction {
+				return nil, false
+			}
+			inner, err := CompileFunction(nested, source, resolver)
+			if err != nil {
+				return nil, false
+			}
+			return func(args []adm.Value) (adm.Value, error) {
+				if len(args) != 1 {
+					return nil, fmt.Errorf("aql: %s expects 1 argument", nested.Name)
+				}
+				rec, ok := args[0].(*adm.Record)
+				if !ok {
+					return nil, fmt.Errorf("aql: %s expects a record", nested.Name)
+				}
+				return inner.ApplyValue(rec)
+			}, true
+		}
+	}
+	return cf, nil
+}
+
+// Name implements the feed runtime's RecordFunction contract.
+func (c *CompiledFunction) Name() string { return c.decl.Name }
+
+// ApplyValue evaluates the function body over one record, returning the raw
+// result value.
+func (c *CompiledFunction) ApplyValue(rec *adm.Record) (adm.Value, error) {
+	env := (&Env{}).Bind(c.decl.Params[0], rec)
+	return c.ev.Eval(c.body, env)
+}
+
+// Apply implements the feed runtime's RecordFunction contract: the body's
+// result must be a record (the paper requires UDF output to conform to the
+// target dataset's type); null/missing results filter the record out.
+func (c *CompiledFunction) Apply(rec *adm.Record) (*adm.Record, error) {
+	v, err := c.ApplyValue(rec)
+	if err != nil {
+		return nil, err
+	}
+	switch t := v.(type) {
+	case *adm.Record:
+		return t, nil
+	case adm.Null, adm.Missing:
+		return nil, nil
+	case *adm.OrderedList:
+		// A single-record list unwraps (common with FLWOR bodies).
+		if len(t.Items) == 1 {
+			if r, ok := t.Items[0].(*adm.Record); ok {
+				return r, nil
+			}
+		}
+		if len(t.Items) == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("aql: %s returned a %d-element list, want one record", c.decl.Name, len(t.Items))
+	default:
+		return nil, fmt.Errorf("aql: %s returned %s, want record", c.decl.Name, v.Tag())
+	}
+}

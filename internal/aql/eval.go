@@ -1,0 +1,453 @@
+package aql
+
+import (
+	"fmt"
+	"sort"
+
+	"asterixfeeds/internal/adm"
+)
+
+// DataSource gives the evaluator access to stored datasets for FLWOR
+// `for $x in dataset D` clauses.
+type DataSource interface {
+	// ScanDataset streams every record of the named dataset (in the
+	// active dataverse); fn returning false stops the scan.
+	ScanDataset(name string, fn func(*adm.Record) bool) error
+}
+
+// Env is an immutable chain of variable bindings.
+type Env struct {
+	parent *Env
+	name   string
+	value  adm.Value
+}
+
+// Bind extends the environment with one binding.
+func (e *Env) Bind(name string, v adm.Value) *Env {
+	return &Env{parent: e, name: name, value: v}
+}
+
+// Lookup resolves a variable.
+func (e *Env) Lookup(name string) (adm.Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if env.name == name {
+			return env.value, true
+		}
+	}
+	return nil, false
+}
+
+// Evaluator executes parsed expressions.
+type Evaluator struct {
+	// Source provides dataset access; nil forbids dataset references.
+	Source DataSource
+	// Functions resolves user-defined function calls by unqualified
+	// name; nil forbids UDF calls.
+	Functions func(name string) (func(args []adm.Value) (adm.Value, error), bool)
+}
+
+// Eval evaluates e under env.
+func (ev *Evaluator) Eval(e Expr, env *Env) (adm.Value, error) {
+	switch t := e.(type) {
+	case *Literal:
+		return t.Value, nil
+	case *VarRef:
+		v, ok := env.Lookup(t.Name)
+		if !ok {
+			return nil, fmt.Errorf("aql: unbound variable %s", t.Name)
+		}
+		return v, nil
+	case *FieldAccess:
+		base, err := ev.Eval(t.Base, env)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := base.(*adm.Record)
+		if !ok {
+			if base.Tag() == adm.TagMissing || base.Tag() == adm.TagNull {
+				return adm.Missing{}, nil
+			}
+			return nil, fmt.Errorf("aql: field access on %s", base.Tag())
+		}
+		v, _ := rec.Field(t.Field)
+		return v, nil
+	case *IndexAccess:
+		base, err := ev.Eval(t.Base, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := ev.Eval(t.Index, env)
+		if err != nil {
+			return nil, err
+		}
+		i, ok := idx.(adm.Int64)
+		if !ok {
+			return nil, fmt.Errorf("aql: list index is %s, want int64", idx.Tag())
+		}
+		lst, ok := base.(*adm.OrderedList)
+		if !ok {
+			return nil, fmt.Errorf("aql: index access on %s", base.Tag())
+		}
+		if int(i) < 0 || int(i) >= len(lst.Items) {
+			return adm.Missing{}, nil
+		}
+		return lst.Items[i], nil
+	case *RecordCtor:
+		var b adm.RecordBuilder
+		for i, name := range t.Names {
+			v, err := ev.Eval(t.Values[i], env)
+			if err != nil {
+				return nil, err
+			}
+			if v.Tag() == adm.TagMissing {
+				continue // missing fields are omitted, as in ADM
+			}
+			b.Add(name, v)
+		}
+		return b.Build()
+	case *ListCtor:
+		items := make([]adm.Value, 0, len(t.Items))
+		for _, it := range t.Items {
+			v, err := ev.Eval(it, env)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+		}
+		return &adm.OrderedList{Items: items}, nil
+	case *Call:
+		return ev.call(t, env)
+	case *DatasetRef:
+		return ev.scanDataset(t.Name)
+	case *Binary:
+		return ev.binary(t, env)
+	case *Unary:
+		x, err := ev.Eval(t.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "not":
+			return adm.Boolean(!adm.Truthy(x)), nil
+		case "-":
+			switch n := x.(type) {
+			case adm.Int64:
+				return adm.Int64(-n), nil
+			case adm.Double:
+				return adm.Double(-n), nil
+			}
+			return nil, fmt.Errorf("aql: negation of %s", x.Tag())
+		}
+		return nil, fmt.Errorf("aql: unknown unary op %q", t.Op)
+	case *FLWOR:
+		return ev.flwor(t, env)
+	case *Some:
+		items, err := ev.iterable(t.In, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			v, err := ev.Eval(t.Satisfies, env.Bind(t.Var, it))
+			if err != nil {
+				return nil, err
+			}
+			if adm.Truthy(v) {
+				return adm.Boolean(true), nil
+			}
+		}
+		return adm.Boolean(false), nil
+	case *Every:
+		items, err := ev.iterable(t.In, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			v, err := ev.Eval(t.Satisfies, env.Bind(t.Var, it))
+			if err != nil {
+				return nil, err
+			}
+			if !adm.Truthy(v) {
+				return adm.Boolean(false), nil
+			}
+		}
+		return adm.Boolean(true), nil
+	}
+	return nil, fmt.Errorf("aql: unknown expression %T", e)
+}
+
+func (ev *Evaluator) scanDataset(name string) (adm.Value, error) {
+	if ev.Source == nil {
+		return nil, fmt.Errorf("aql: no data source for dataset %s", name)
+	}
+	var items []adm.Value
+	err := ev.Source.ScanDataset(name, func(rec *adm.Record) bool {
+		items = append(items, rec)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &adm.OrderedList{Items: items}, nil
+}
+
+// iterable evaluates e and returns its items: lists iterate their elements,
+// any other value iterates as a singleton (AQL's sequence coercion).
+func (ev *Evaluator) iterable(e Expr, env *Env) ([]adm.Value, error) {
+	v, err := ev.Eval(e, env)
+	if err != nil {
+		return nil, err
+	}
+	switch t := v.(type) {
+	case *adm.OrderedList:
+		return t.Items, nil
+	case *adm.UnorderedList:
+		return t.Items, nil
+	case adm.Missing, adm.Null:
+		return nil, nil
+	default:
+		return []adm.Value{v}, nil
+	}
+}
+
+func (ev *Evaluator) binary(b *Binary, env *Env) (adm.Value, error) {
+	// Short-circuit logical operators.
+	switch b.Op {
+	case "and":
+		l, err := ev.Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if !adm.Truthy(l) {
+			return adm.Boolean(false), nil
+		}
+		r, err := ev.Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return adm.Boolean(adm.Truthy(r)), nil
+	case "or":
+		l, err := ev.Eval(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		if adm.Truthy(l) {
+			return adm.Boolean(true), nil
+		}
+		r, err := ev.Eval(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return adm.Boolean(adm.Truthy(r)), nil
+	}
+	l, err := ev.Eval(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.Eval(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "=":
+		return adm.Boolean(adm.Equal(l, r)), nil
+	case "!=":
+		return adm.Boolean(!adm.Equal(l, r)), nil
+	case "<":
+		return adm.Boolean(adm.Compare(l, r) < 0), nil
+	case "<=":
+		return adm.Boolean(adm.Compare(l, r) <= 0), nil
+	case ">":
+		return adm.Boolean(adm.Compare(l, r) > 0), nil
+	case ">=":
+		return adm.Boolean(adm.Compare(l, r) >= 0), nil
+	case "+", "-", "*", "/":
+		return arith(b.Op, l, r)
+	}
+	return nil, fmt.Errorf("aql: unknown operator %q", b.Op)
+}
+
+func arith(op string, l, r adm.Value) (adm.Value, error) {
+	li, lok := l.(adm.Int64)
+	ri, rok := r.(adm.Int64)
+	if lok && rok && op != "/" {
+		switch op {
+		case "+":
+			return adm.Int64(li + ri), nil
+		case "-":
+			return adm.Int64(li - ri), nil
+		case "*":
+			return adm.Int64(li * ri), nil
+		}
+	}
+	lf, lok2 := adm.AsDouble(l)
+	rf, rok2 := adm.AsDouble(r)
+	if !lok2 || !rok2 {
+		if op == "+" {
+			ls, lsok := adm.AsString(l)
+			rs, rsok := adm.AsString(r)
+			if lsok && rsok {
+				return adm.String(ls + rs), nil
+			}
+		}
+		return nil, fmt.Errorf("aql: %q on %s and %s", op, l.Tag(), r.Tag())
+	}
+	switch op {
+	case "+":
+		return adm.Double(lf + rf), nil
+	case "-":
+		return adm.Double(lf - rf), nil
+	case "*":
+		return adm.Double(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("aql: division by zero")
+		}
+		return adm.Double(lf / rf), nil
+	}
+	return nil, fmt.Errorf("aql: unknown arithmetic op %q", op)
+}
+
+// tuple is one binding set flowing through a FLWOR pipeline.
+type tuple struct {
+	env *Env
+}
+
+func (ev *Evaluator) flwor(f *FLWOR, env *Env) (adm.Value, error) {
+	tuples := []tuple{{env: env}}
+	for _, cl := range f.Clauses {
+		switch c := cl.(type) {
+		case ForClause:
+			var next []tuple
+			for _, tp := range tuples {
+				items, err := ev.iterable(c.In, tp.env)
+				if err != nil {
+					return nil, err
+				}
+				for _, it := range items {
+					next = append(next, tuple{env: tp.env.Bind(c.Var, it)})
+				}
+			}
+			tuples = next
+		case LetClause:
+			for i, tp := range tuples {
+				v, err := ev.Eval(c.E, tp.env)
+				if err != nil {
+					return nil, err
+				}
+				tuples[i].env = tp.env.Bind(c.Var, v)
+			}
+		default:
+			return nil, fmt.Errorf("aql: unknown FLWOR clause %T", cl)
+		}
+	}
+	if f.Where != nil {
+		var kept []tuple
+		for _, tp := range tuples {
+			v, err := ev.Eval(f.Where, tp.env)
+			if err != nil {
+				return nil, err
+			}
+			if adm.Truthy(v) {
+				kept = append(kept, tp)
+			}
+		}
+		tuples = kept
+	}
+	if f.Group != nil {
+		grouped, err := ev.groupBy(f.Group, tuples, env)
+		if err != nil {
+			return nil, err
+		}
+		tuples = grouped
+	}
+	if f.Order != nil {
+		type keyed struct {
+			tp  tuple
+			key adm.Value
+		}
+		ks := make([]keyed, len(tuples))
+		for i, tp := range tuples {
+			k, err := ev.Eval(f.Order.Key, tp.env)
+			if err != nil {
+				return nil, err
+			}
+			ks[i] = keyed{tp, k}
+		}
+		sort.SliceStable(ks, func(i, j int) bool {
+			c := adm.Compare(ks[i].key, ks[j].key)
+			if f.Order.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		for i := range ks {
+			tuples[i] = ks[i].tp
+		}
+	}
+	if f.Limit > 0 && len(tuples) > f.Limit {
+		tuples = tuples[:f.Limit]
+	}
+	out := make([]adm.Value, 0, len(tuples))
+	for _, tp := range tuples {
+		v, err := ev.Eval(f.Return, tp.env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return &adm.OrderedList{Items: out}, nil
+}
+
+func (ev *Evaluator) groupBy(g *GroupBy, tuples []tuple, base *Env) ([]tuple, error) {
+	type group struct {
+		key    adm.Value
+		values []adm.Value
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, tp := range tuples {
+		k, err := ev.Eval(g.Key, tp.env)
+		if err != nil {
+			return nil, err
+		}
+		wv, ok := tp.env.Lookup(g.With)
+		if !ok {
+			return nil, fmt.Errorf("aql: group by with-variable %s unbound", g.With)
+		}
+		ck := adm.CanonicalString(k)
+		gr, exists := groups[ck]
+		if !exists {
+			gr = &group{key: k}
+			groups[ck] = gr
+			order = append(order, ck)
+		}
+		gr.values = append(gr.values, wv)
+	}
+	out := make([]tuple, 0, len(groups))
+	for _, ck := range order {
+		gr := groups[ck]
+		env := base.Bind(g.Var, gr.key).Bind(g.With, &adm.OrderedList{Items: gr.values})
+		out = append(out, tuple{env: env})
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) call(c *Call, env *Env) (adm.Value, error) {
+	args := make([]adm.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := ev.Eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	if fn, ok := builtins[c.Name]; ok {
+		return fn(args)
+	}
+	if ev.Functions != nil {
+		if fn, ok := ev.Functions(c.Name); ok {
+			return fn(args)
+		}
+	}
+	return nil, fmt.Errorf("aql: unknown function %q", c.Name)
+}

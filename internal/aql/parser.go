@@ -1,0 +1,1055 @@
+package aql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asterixfeeds/internal/adm"
+)
+
+// Parse parses a sequence of semicolon-terminated AQL statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	var out []Statement
+	for !p.at(tokEOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		for p.at(tokSemicolon) {
+			p.advance()
+		}
+	}
+	return out, nil
+}
+
+// ParseExpr parses a single expression (e.g. a stored function body).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+
+func (p *parser) atKeyword(word string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, word)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("aql: line %d: %s (at %s)", p.cur().line, fmt.Sprintf(format, args...), p.cur())
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s", what)
+	}
+	t := p.cur()
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) expectKeyword(word string) error {
+	if !p.atKeyword(word) {
+		return p.errf("expected %q", word)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "identifier")
+	return t.text, err
+}
+
+// splitDoubleRBrace rewrites a '}}' token into a single '}' so that nested
+// record constructors ending in two braces ({"a": {"b": 1}}) parse; the
+// second '}' is re-materialized in place.
+func (p *parser) splitDoubleRBrace() {
+	if p.at(tokRBraceBrace) {
+		t := p.cur()
+		p.toks[p.pos] = token{kind: tokRBrace, text: "}", pos: t.pos, line: t.line}
+		rest := token{kind: tokRBrace, text: "}", pos: t.pos + 1, line: t.line}
+		p.toks = append(p.toks[:p.pos+1], append([]token{rest}, p.toks[p.pos+1:]...)...)
+	}
+}
+
+// funcName parses `name` or `lib#name`.
+func (p *parser) funcName() (string, error) {
+	// Function names may be quoted in listings: apply function "lib#fn".
+	if p.at(tokString) {
+		t := p.cur()
+		p.advance()
+		return t.text, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.at(tokHash) {
+		p.advance()
+		second, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return name + "#" + second, nil
+	}
+	return name, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.atKeyword("use"):
+		p.advance()
+		if err := p.expectKeyword("dataverse"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &UseDataverse{Name: name}, nil
+	case p.atKeyword("create"):
+		return p.createStatement()
+	case p.atKeyword("connect"):
+		p.advance()
+		if err := p.expectKeyword("feed"); err != nil {
+			return nil, err
+		}
+		feed, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("to"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("dataset"); err != nil {
+			return nil, err
+		}
+		ds, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		policy := ""
+		if p.atKeyword("using") {
+			p.advance()
+			if err := p.expectKeyword("policy"); err != nil {
+				return nil, err
+			}
+			policy, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ConnectFeed{Feed: feed, Dataset: ds, Policy: policy}, nil
+	case p.atKeyword("disconnect"):
+		p.advance()
+		if err := p.expectKeyword("feed"); err != nil {
+			return nil, err
+		}
+		feed, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("from"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("dataset"); err != nil {
+			return nil, err
+		}
+		ds, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DisconnectFeed{Feed: feed, Dataset: ds}, nil
+	case p.atKeyword("drop"):
+		p.advance()
+		kind := ""
+		switch {
+		case p.atKeyword("dataset"):
+			kind = "dataset"
+		case p.atKeyword("feed"):
+			kind = "feed"
+		case p.atKeyword("function"):
+			kind = "function"
+		case p.atKeyword("ingestion"):
+			p.advance()
+			if !p.atKeyword("policy") {
+				return nil, p.errf("expected \"policy\"")
+			}
+			kind = "policy"
+		default:
+			return nil, p.errf("expected dataset, feed, function, or ingestion policy after drop")
+		}
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Drop{Kind: kind, Name: name}, nil
+	case p.atKeyword("load"):
+		p.advance()
+		if err := p.expectKeyword("dataset"); err != nil {
+			return nil, err
+		}
+		ds, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("from"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("file"); err != nil {
+			return nil, err
+		}
+		path, err := p.expect(tokString, "file path string")
+		if err != nil {
+			return nil, err
+		}
+		return &LoadDataset{Dataset: ds, Path: path.text}, nil
+	case p.atKeyword("insert"):
+		p.advance()
+		if err := p.expectKeyword("into"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("dataset"); err != nil {
+			return nil, err
+		}
+		ds, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &InsertInto{Dataset: ds, Body: body}, nil
+	default:
+		// A bare expression is a query.
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Body: body}, nil
+	}
+}
+
+func (p *parser) createStatement() (Statement, error) {
+	p.advance() // create
+	switch {
+	case p.atKeyword("dataverse"):
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st := &CreateDataverse{Name: name}
+		if p.atKeyword("if") {
+			p.advance()
+			if err := p.expectKeyword("not"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("exists"); err != nil {
+				return nil, err
+			}
+			st.IfNotExists = true
+		}
+		return st, nil
+	case p.atKeyword("type"):
+		return p.createType()
+	case p.atKeyword("dataset"):
+		return p.createDataset()
+	case p.atKeyword("index"):
+		return p.createIndex()
+	case p.atKeyword("feed"):
+		p.advance()
+		return p.createFeed(false)
+	case p.atKeyword("secondary"):
+		p.advance()
+		if err := p.expectKeyword("feed"); err != nil {
+			return nil, err
+		}
+		return p.createFeed(true)
+	case p.atKeyword("function"):
+		return p.createFunction()
+	case p.atKeyword("ingestion"):
+		p.advance()
+		if err := p.expectKeyword("policy"); err != nil {
+			return nil, err
+		}
+		return p.createPolicy()
+	}
+	return nil, p.errf("unknown create statement")
+}
+
+func (p *parser) createType() (Statement, error) {
+	p.advance() // type
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	open := true
+	if p.atKeyword("open") {
+		p.advance()
+	} else if p.atKeyword("closed") {
+		open = false
+		p.advance()
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	st := &CreateType{Name: name, Open: open}
+	for p.splitDoubleRBrace(); !p.at(tokRBrace); p.splitDoubleRBrace() {
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokColon, "':'"); err != nil {
+			return nil, err
+		}
+		f := TypeField{Name: fname}
+		if p.at(tokLBracket) {
+			p.advance()
+			tn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			f.TypeName, f.List = tn, true
+		} else {
+			tn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			f.TypeName = tn
+		}
+		if p.at(tokQmark) {
+			p.advance()
+			f.Optional = true
+		}
+		st.Fields = append(st.Fields, f)
+		if p.at(tokComma) {
+			p.advance()
+		}
+	}
+	p.advance() // }
+	return st, nil
+}
+
+func (p *parser) createDataset() (Statement, error) {
+	p.advance() // dataset
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("primary"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("key"); err != nil {
+		return nil, err
+	}
+	st := &CreateDataset{Name: name, TypeName: typeName}
+	for {
+		k, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.PrimaryKey = append(st.PrimaryKey, k)
+		if !p.at(tokComma) {
+			break
+		}
+		p.advance()
+	}
+	if p.atKeyword("with") {
+		p.advance()
+		if err := p.expectKeyword("replication"); err != nil {
+			return nil, err
+		}
+		st.Replicated = true
+	}
+	return st, nil
+}
+
+func (p *parser) createIndex() (Statement, error) {
+	p.advance() // index
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	ds, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	field, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	kind := "btree"
+	if p.atKeyword("type") {
+		p.advance()
+		kind, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind = strings.ToLower(kind)
+	}
+	if kind != "btree" && kind != "rtree" {
+		return nil, p.errf("unknown index type %q", kind)
+	}
+	return &CreateIndex{Name: name, Dataset: ds, Field: field, Kind: kind}, nil
+}
+
+// configParams parses ("k"="v", "k2"="v2") with optional doubled parens
+// (("k"="v")) as in Listing 4.6.
+func (p *parser) configParams() (map[string]string, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	doubled := false
+	if p.at(tokLParen) {
+		p.advance()
+		doubled = true
+	}
+	out := map[string]string{}
+	for !p.at(tokRParen) {
+		k, err := p.expect(tokString, "parameter name string")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq, "'='"); err != nil {
+			return nil, err
+		}
+		var val string
+		switch p.cur().kind {
+		case tokString, tokInt, tokDouble:
+			val = p.cur().text
+			p.advance()
+		default:
+			return nil, p.errf("expected parameter value")
+		}
+		out[k.text] = val
+		if p.at(tokComma) {
+			p.advance()
+		}
+		// Nested per-pair parens: ("a"="b"),("c"="d")
+		if p.at(tokRParen) && doubled {
+			p.advance()
+			if p.at(tokComma) {
+				p.advance()
+				if _, err := p.expect(tokLParen, "'('"); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			doubled = false
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) createFeed(secondary bool) (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateFeed{Name: name, Secondary: secondary}
+	if secondary {
+		if err := p.expectKeyword("from"); err != nil {
+			return nil, err
+		}
+		// `from feed X` — the paper sometimes omits "feed".
+		if p.atKeyword("feed") {
+			p.advance()
+		}
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.SourceFeed = src
+	} else {
+		if err := p.expectKeyword("using"); err != nil {
+			return nil, err
+		}
+		adaptor, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Adaptor = adaptor
+		if p.at(tokLParen) {
+			cfg, err := p.configParams()
+			if err != nil {
+				return nil, err
+			}
+			st.Config = cfg
+		}
+	}
+	if p.atKeyword("apply") {
+		p.advance()
+		if err := p.expectKeyword("function"); err != nil {
+			return nil, err
+		}
+		fn, err := p.funcName()
+		if err != nil {
+			return nil, err
+		}
+		st.ApplyFunction = fn
+	}
+	return st, nil
+}
+
+func (p *parser) createFunction() (Statement, error) {
+	p.advance() // function
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	st := &CreateFunction{Name: name}
+	for !p.at(tokRParen) {
+		v, err := p.expect(tokVariable, "parameter variable")
+		if err != nil {
+			return nil, err
+		}
+		st.Params = append(st.Params, v.text)
+		if p.at(tokComma) {
+			p.advance()
+		}
+	}
+	p.advance() // )
+	lb, err := p.expect(tokLBrace, "'{'")
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.splitDoubleRBrace()
+	rb, err := p.expect(tokRBrace, "'}'")
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	st.BodyText = strings.TrimSpace(p.src[lb.pos+1 : rb.pos])
+	return st, nil
+}
+
+func (p *parser) createPolicy() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("policy"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.configParams()
+	if err != nil {
+		return nil, err
+	}
+	return &CreatePolicy{Name: name, From: from, Params: params}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.advance()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.atKeyword("not") {
+		p.advance()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.cur().kind {
+	case tokEq:
+		op = "="
+	case tokNeq:
+		op = "!="
+	case tokLt:
+		op = "<"
+	case tokLte:
+		op = "<="
+	case tokGt:
+		op = ">"
+	case tokGte:
+		op = ">="
+	default:
+		return l, nil
+	}
+	p.advance()
+	r, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		op := "+"
+		if p.at(tokMinus) {
+			op = "-"
+		}
+		p.advance()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) || p.at(tokSlash) {
+		op := "*"
+		if p.at(tokSlash) {
+			op = "/"
+		}
+		p.advance()
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(tokMinus) {
+		p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokDot):
+			p.advance()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			e = &FieldAccess{Base: e, Field: name}
+		case p.at(tokLBracket):
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			e = &IndexAccess{Base: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return &Literal{Value: adm.Int64(n)}, nil
+	case tokDouble:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad double %q", t.text)
+		}
+		return &Literal{Value: adm.Double(f)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Value: adm.String(t.text)}, nil
+	case tokVariable:
+		p.advance()
+		return &VarRef{Name: t.text}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLBracket:
+		p.advance()
+		lc := &ListCtor{}
+		for !p.at(tokRBracket) {
+			it, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lc.Items = append(lc.Items, it)
+			if p.at(tokComma) {
+				p.advance()
+			}
+		}
+		p.advance()
+		return lc, nil
+	case tokLBrace:
+		return p.recordCtor()
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.advance()
+			return &Literal{Value: adm.Boolean(true)}, nil
+		case "false":
+			p.advance()
+			return &Literal{Value: adm.Boolean(false)}, nil
+		case "null":
+			p.advance()
+			return &Literal{Value: adm.Null{}}, nil
+		case "missing":
+			p.advance()
+			return &Literal{Value: adm.Missing{}}, nil
+		case "for", "let":
+			return p.flwor()
+		case "some":
+			p.advance()
+			return p.quantified(false)
+		case "every":
+			p.advance()
+			return p.quantified(true)
+		case "dataset":
+			p.advance()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &DatasetRef{Name: name}, nil
+		}
+		// Function call: name or lib#name followed by '('.
+		name, err := p.funcName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen, "'(' after function name"); err != nil {
+			return nil, err
+		}
+		call := &Call{Name: name}
+		for !p.at(tokRParen) {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.at(tokComma) {
+				p.advance()
+			}
+		}
+		p.advance()
+		return call, nil
+	}
+	return nil, p.errf("unexpected token in expression")
+}
+
+func (p *parser) recordCtor() (Expr, error) {
+	p.advance() // {
+	rc := &RecordCtor{}
+	for p.splitDoubleRBrace(); !p.at(tokRBrace); p.splitDoubleRBrace() {
+		var name string
+		switch p.cur().kind {
+		case tokString:
+			name = p.cur().text
+			p.advance()
+		case tokIdent:
+			name = p.cur().text
+			p.advance()
+		default:
+			return nil, p.errf("expected field name in record constructor")
+		}
+		if _, err := p.expect(tokColon, "':'"); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		rc.Names = append(rc.Names, name)
+		rc.Values = append(rc.Values, v)
+		if p.at(tokComma) {
+			p.advance()
+		}
+	}
+	p.advance() // }
+	return rc, nil
+}
+
+func (p *parser) flwor() (Expr, error) {
+	f := &FLWOR{}
+	for {
+		switch {
+		case p.atKeyword("for"):
+			p.advance()
+			v, err := p.expect(tokVariable, "for variable")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("in"); err != nil {
+				return nil, err
+			}
+			in, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, ForClause{Var: v.text, In: in})
+			continue
+		case p.atKeyword("let"):
+			p.advance()
+			v, err := p.expect(tokVariable, "let variable")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokAssign, "':='"); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Clauses = append(f.Clauses, LetClause{Var: v.text, E: e})
+			continue
+		}
+		break
+	}
+	if len(f.Clauses) == 0 {
+		return nil, p.errf("FLWOR requires at least one for/let clause")
+	}
+	if p.atKeyword("where") {
+		p.advance()
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = w
+	}
+	if p.atKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(tokVariable, "group variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign, "':='"); err != nil {
+			return nil, err
+		}
+		key, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("with"); err != nil {
+			return nil, err
+		}
+		with, err := p.expect(tokVariable, "with variable")
+		if err != nil {
+			return nil, err
+		}
+		f.Group = &GroupBy{Var: v.text, Key: key, With: with.text}
+	}
+	if p.atKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		key, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Key: key}
+		if p.atKeyword("desc") {
+			p.advance()
+			ob.Desc = true
+		} else if p.atKeyword("asc") {
+			p.advance()
+		}
+		f.Order = ob
+	}
+	if p.atKeyword("limit") {
+		p.advance()
+		n, err := p.expect(tokInt, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		lim, err := strconv.Atoi(n.text)
+		if err != nil || lim < 0 {
+			return nil, p.errf("bad limit %q", n.text)
+		}
+		f.Limit = lim
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	ret, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	return f, nil
+}
+
+func (p *parser) quantified(every bool) (Expr, error) {
+	v, err := p.expect(tokVariable, "quantifier variable")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	in, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("satisfies"); err != nil {
+		return nil, err
+	}
+	sat, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if every {
+		return &Every{Var: v.text, In: in, Satisfies: sat}, nil
+	}
+	return &Some{Var: v.text, In: in, Satisfies: sat}, nil
+}

@@ -1,0 +1,69 @@
+// Package aql implements the subset of the AsterixDB Query Language the
+// paper's listings use: DDL (create dataverse/type/dataset/index/feed/
+// function/ingestion policy), feed lifecycle statements (connect feed,
+// disconnect), insert, and FLWOR query expressions with the spatial and
+// text builtins of Chapter 3.
+//
+// The package is a pure front end: parsing produces typed Statement values
+// and the evaluator executes expressions against a DataSource; statement
+// execution against a live cluster lives in the top-level asterixfeeds
+// package.
+package aql
+
+import "fmt"
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVariable // $x
+	tokString
+	tokInt
+	tokDouble
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokLBraceBrace // {{
+	tokRBraceBrace // }}
+	tokComma
+	tokSemicolon
+	tokColon
+	tokAssign // :=
+	tokDot
+	tokHash
+	tokEq    // =
+	tokNeq   // !=
+	tokLt    // <
+	tokLte   // <=
+	tokGt    // >
+	tokGte   // >=
+	tokPlus  // +
+	tokMinus // -
+	tokStar  // *
+	tokSlash // /
+	tokQmark // ?
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+// Ablation benchmarks for the design choices the paper (and DESIGN.md)
+// call out: the feed joint's short-circuited mode, collect-side frame
+// batching, and the cost of at-least-once tracking.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"asterixfeeds/internal/hyracks"
+)
+
+// BenchmarkJointShortCircuited measures deposit+consume throughput with one
+// subscriber: the short-circuited mode that skips data-bucket bookkeeping
+// (§5.4.1).
+func BenchmarkJointShortCircuited(b *testing.B) {
+	benchJoint(b, 1)
+}
+
+// BenchmarkJointShared measures the same flow with two subscribers: every
+// frame travels in a refcounted bucket delivered to both queues.
+func BenchmarkJointShared(b *testing.B) {
+	benchJoint(b, 2)
+}
+
+func benchJoint(b *testing.B, subscribers int) {
+	j := newJoint("bench.F", "A", 0)
+	pol := &Policy{MemoryBudgetRecords: 1 << 30}
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < subscribers; i++ {
+		s, err := j.Subscribe(fmt.Sprintf("c%d", i), pol, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func(s *Subscription) {
+			for {
+				if _, ok := s.Next(stop); !ok {
+					return
+				}
+			}
+		}(s)
+	}
+	f := hyracks.NewFrame(128)
+	for i := 0; i < 128; i++ {
+		f.Append([]byte("recordrecordrecord"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Deposit(f)
+	}
+}
+
+// BenchmarkFeedThroughputBatched / BenchmarkFeedThroughputUnbatched ablate
+// the collect-side frame batching: 128-record frames versus single-record
+// frames through a complete ingestion pipeline.
+func BenchmarkFeedThroughputBatched(b *testing.B) {
+	benchFeedThroughput(b, 128, "Basic")
+}
+
+// BenchmarkFeedThroughputUnbatched is the frameCap=1 ablation.
+func BenchmarkFeedThroughputUnbatched(b *testing.B) {
+	benchFeedThroughput(b, 1, "Basic")
+}
+
+// BenchmarkFeedThroughputAtLeastOnce ablates the §5.6 machinery: same
+// pipeline as the batched run, plus tracking ids, grouped acks, and the
+// replay sweeper.
+func BenchmarkFeedThroughputAtLeastOnce(b *testing.B) {
+	benchFeedThroughput(b, 128, "AtLeastOnce")
+}
+
+func benchFeedThroughput(b *testing.B, frameCap int, policy string) {
+	h := newHarness(b, "A")
+	h.mgr.Close()
+	// Rebuild the manager with the requested frame capacity.
+	h.mgr = NewManager(h.cluster, h.catalog, Options{
+		MetricsWindow: 200 * time.Millisecond,
+		AckTimeout:    200 * time.Millisecond,
+		FrameCapacity: frameCap,
+	})
+	defer h.mgr.Close()
+	ds := h.declareTweetDataset("Tweets")
+	count := b.N
+	if count < 100 {
+		count = 100
+	}
+	h.declarePrimaryFeed("F", makeGen(count, 0), 1, "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := h.mgr.ConnectFeed("feeds", "F", "Tweets", policy); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.datasetCount(ds) >= count {
+			b.ReportMetric(float64(count), "records")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatalf("pipeline did not drain %d records", count)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// At-least-once delivery (§5.6) augments each record with a tracking id at
+// the intake stage. On the wire a tracked record is enveloped as
+//
+//	0xA1 | id (8 bytes LE) | payload
+//
+// The marker byte cannot collide with ADM type tags (all < 0x10), so
+// untracked and tracked records are distinguishable.
+
+const trackedMarker = 0xA1
+
+// wrapTracked envelopes payload with a tracking id.
+func wrapTracked(id uint64, payload []byte) []byte {
+	out := make([]byte, 9+len(payload))
+	out[0] = trackedMarker
+	binary.LittleEndian.PutUint64(out[1:9], id)
+	copy(out[9:], payload)
+	return out
+}
+
+// unwrapRecord splits a wire record into its tracking id (if enveloped) and
+// ADM payload.
+func unwrapRecord(rec []byte) (id uint64, payload []byte, tracked bool, err error) {
+	if len(rec) == 0 {
+		return 0, nil, false, fmt.Errorf("core: empty wire record")
+	}
+	if rec[0] != trackedMarker {
+		return 0, rec, false, nil
+	}
+	if len(rec) < 9 {
+		return 0, nil, false, fmt.Errorf("core: truncated tracked record")
+	}
+	return binary.LittleEndian.Uint64(rec[1:9]), rec[9:], true, nil
+}
+
+// payloadOf returns the ADM payload of a wire record regardless of
+// tracking; connector key-hash functions use it.
+func payloadOf(rec []byte) []byte {
+	if len(rec) >= 9 && rec[0] == trackedMarker {
+		return rec[9:]
+	}
+	return rec
+}

@@ -1,0 +1,584 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"asterixfeeds/internal/hyracks"
+
+	"asterixfeeds/internal/metrics"
+)
+
+// JointMode describes a feed joint's current mode of operation (§5.4.1).
+type JointMode int
+
+// Joint modes.
+const (
+	// JointInactive: no registered subscribers.
+	JointInactive JointMode = iota
+	// JointShortCircuited: exactly one subscriber; frames bypass bucket
+	// bookkeeping.
+	JointShortCircuited
+	// JointShared: multiple subscribers; frames travel in refcounted
+	// data buckets.
+	JointShared
+)
+
+// String implements fmt.Stringer.
+func (m JointMode) String() string {
+	switch m {
+	case JointInactive:
+		return "inactive"
+	case JointShortCircuited:
+		return "short-circuited"
+	case JointShared:
+		return "shared"
+	default:
+		return "unknown"
+	}
+}
+
+// dataBucket wraps a frame with a consumer refcount (§5.4.1, Shared mode).
+// When the count reaches zero the bucket returns to the pool.
+type dataBucket struct {
+	frame *hyracks.Frame
+	mu    sync.Mutex
+	refs  int
+}
+
+var bucketPool = sync.Pool{New: func() any { return new(dataBucket) }}
+
+func acquireBucket(f *hyracks.Frame, refs int) *dataBucket {
+	b := bucketPool.Get().(*dataBucket)
+	b.frame = f
+	b.refs = refs
+	return b
+}
+
+// release decrements the refcount, recycling the bucket at zero.
+func (b *dataBucket) release() {
+	b.mu.Lock()
+	b.refs--
+	done := b.refs == 0
+	b.mu.Unlock()
+	if done {
+		b.frame = nil
+		bucketPool.Put(b)
+	}
+}
+
+// Joint is a feed joint: a network tap at an operator's output that makes
+// the flowing data accessible and routable to any number of subscribing
+// ingestion pipelines (§5.2, §5.4). Joints are registered with the local
+// FeedManager under the stream's signature and outlive the jobs that feed
+// and drain them, which is what lets a re-scheduled pipeline adopt the
+// state its predecessor left behind.
+type Joint struct {
+	// signature identifies the records flowing through, e.g.
+	// "feeds.TwitterFeed" or "feeds.TwitterFeed:processTweet".
+	signature string
+	// node is the hosting node; partition the producing task's index.
+	node      string
+	partition int
+
+	mu     sync.Mutex
+	subs   map[string]*Subscription
+	closed bool
+	// deposited counts frames seen, for monitoring.
+	depositedFrames  int64
+	depositedRecords int64
+	// subscriberArrived signals WaitForSubscriber.
+	subscriberArrived chan struct{}
+}
+
+// newJoint creates a joint; use FeedManager.CreateJoint in operator code.
+func newJoint(signature, node string, partition int) *Joint {
+	return &Joint{
+		signature:         signature,
+		node:              node,
+		partition:         partition,
+		subs:              make(map[string]*Subscription),
+		subscriberArrived: make(chan struct{}, 1),
+	}
+}
+
+// Signature returns the joint's stream signature.
+func (j *Joint) Signature() string { return j.signature }
+
+// Node returns the hosting node name.
+func (j *Joint) Node() string { return j.node }
+
+// Partition returns the producing task's partition index.
+func (j *Joint) Partition() int { return j.partition }
+
+// Mode reports the joint's current mode of operation.
+func (j *Joint) Mode() JointMode {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	active := 0
+	for _, s := range j.subs {
+		if !s.isDraining() {
+			active++
+		}
+	}
+	switch active {
+	case 0:
+		return JointInactive
+	case 1:
+		return JointShortCircuited
+	default:
+		return JointShared
+	}
+}
+
+// Subscribers returns the ids of registered subscriptions, sorted.
+func (j *Joint) Subscribers() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.subs))
+	for id := range j.subs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscription returns the registered subscription with the given id.
+func (j *Joint) Subscription(subID string) (*Subscription, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s, ok := j.subs[subID]
+	return s, ok
+}
+
+// HasSubscribers reports whether any subscription is registered.
+func (j *Joint) HasSubscribers() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs) > 0
+}
+
+// Deposited reports the total frames and records deposited.
+func (j *Joint) Deposited() (frames, records int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.depositedFrames, j.depositedRecords
+}
+
+// WaitForSubscriber blocks until the joint has at least one subscriber or
+// cancel fires; it implements the deferred adaptor start of §5.3.1 (a
+// collect instance creates its adaptor only once there is a request for its
+// output).
+func (j *Joint) WaitForSubscriber(cancel <-chan struct{}) bool {
+	for {
+		j.mu.Lock()
+		n := len(j.subs)
+		j.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+		select {
+		case <-j.subscriberArrived:
+		case <-cancel:
+			return false
+		}
+	}
+}
+
+// Subscribe registers (or re-attaches to) the subscription with the given
+// id. Re-attaching to an existing subscription adopts its buffered backlog —
+// the zombie-state adoption of the fault-tolerance protocol (§6.2.2).
+func (j *Joint) Subscribe(subID string, pol *Policy, spillPath string) (*Subscription, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, fmt.Errorf("core: joint %s is closed", j.signature)
+	}
+	if s, ok := j.subs[subID]; ok {
+		return s, nil
+	}
+	s, err := newSubscription(subID, pol, spillPath)
+	if err != nil {
+		return nil, err
+	}
+	j.subs[subID] = s
+	select {
+	case j.subscriberArrived <- struct{}{}:
+	default:
+	}
+	return s, nil
+}
+
+// Unsubscribe begins a graceful detach: the subscription receives no new
+// frames but its buffered backlog remains consumable until drained (§5.5).
+func (j *Joint) Unsubscribe(subID string) {
+	j.mu.Lock()
+	s, ok := j.subs[subID]
+	if ok {
+		delete(j.subs, subID)
+	}
+	j.mu.Unlock()
+	if ok {
+		s.drainAndClose()
+	}
+}
+
+// DropSubscription removes a subscription discarding its backlog; used when
+// a connection terminates abnormally.
+func (j *Joint) DropSubscription(subID string) {
+	j.mu.Lock()
+	s, ok := j.subs[subID]
+	if ok {
+		delete(j.subs, subID)
+	}
+	j.mu.Unlock()
+	if ok {
+		s.discardAndClose()
+	}
+}
+
+// Deposit routes one frame to every live subscription. In shared mode the
+// frame travels inside a refcounted data bucket so that each subscriber
+// consumes at its own pace (guaranteed delivery + congestion isolation,
+// §5.4.1); with a single subscriber the bucket machinery is short-circuited.
+func (j *Joint) Deposit(f *hyracks.Frame) {
+	j.mu.Lock()
+	subs := make([]*Subscription, 0, len(j.subs))
+	for _, s := range j.subs {
+		subs = append(subs, s)
+	}
+	j.depositedFrames++
+	j.depositedRecords += int64(f.Len())
+	j.mu.Unlock()
+
+	switch len(subs) {
+	case 0:
+		// No subscribers: the data is not routed anywhere.
+	case 1:
+		subs[0].offer(f, nil)
+	default:
+		b := acquireBucket(f, len(subs))
+		for _, s := range subs {
+			s.offer(f, b)
+		}
+	}
+}
+
+// close marks the joint closed and closes all subscriptions.
+func (j *Joint) close() {
+	j.mu.Lock()
+	j.closed = true
+	subs := j.subs
+	j.subs = make(map[string]*Subscription)
+	j.mu.Unlock()
+	for _, s := range subs {
+		s.discardAndClose()
+	}
+}
+
+// SubscriptionStats reports one subscription's congestion counters; the
+// feed management console (§7.2) surfaces these.
+type SubscriptionStats struct {
+	// Backlog is the current in-memory backlog in records.
+	Backlog int
+	// SpilledFrames is the number of frames currently parked on disk.
+	SpilledFrames int
+	// Received counts records accepted into the subscription.
+	Received int64
+	// Discarded counts records dropped by the Discard policy.
+	Discarded int64
+	// ThrottledOut counts records sampled away by the Throttle policy.
+	ThrottledOut int64
+	// SpilledTotal counts records that went through the spill file.
+	SpilledTotal int64
+}
+
+// Subscription is one consumer's registration with a feed joint: an
+// unbounded in-memory frame queue guarded by the connection's ingestion
+// policy, with optional disk spillage. It survives the death of its
+// consuming task, acting as the parked "zombie" state a revived pipeline
+// adopts.
+type Subscription struct {
+	id  string
+	pol *Policy
+
+	mu       sync.Mutex
+	frames   []*hyracks.Frame
+	buckets  []*dataBucket // parallel to frames; nil entries for short-circuited frames
+	arrived  []time.Time   // parallel to frames; enqueue instants
+	backlog  int           // records currently queued in memory
+	spill    *spillFile
+	draining bool
+	closed   bool
+	notify   chan struct{}
+	rnd      *rand.Rand
+	stats    SubscriptionStats
+	// latency, when set, samples each dequeued frame's queueing delay —
+	// the intake-side component of ingestion latency (Table 7.1).
+	latency *metrics.LatencyRecorder
+	// onExcess is invoked when the Elastic policy observes a backlog
+	// beyond budget; the Central Feed Manager installs it.
+	onExcess func()
+}
+
+func newSubscription(id string, pol *Policy, spillPath string) (*Subscription, error) {
+	s := &Subscription{
+		id:     id,
+		pol:    pol,
+		notify: make(chan struct{}, 1),
+		rnd:    rand.New(rand.NewSource(int64(len(id)) + 42)),
+	}
+	if pol.Spill {
+		sf, err := newSpillFile(spillPath, pol.MaxSpillBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.spill = sf
+	}
+	return s, nil
+}
+
+// ID returns the subscription id.
+func (s *Subscription) ID() string { return s.id }
+
+// SetLatencyRecorder installs a recorder sampling each dequeued frame's
+// queueing delay.
+func (s *Subscription) SetLatencyRecorder(r *metrics.LatencyRecorder) {
+	s.mu.Lock()
+	s.latency = r
+	s.mu.Unlock()
+}
+
+// SetExcessCallback installs the elastic-policy callback fired on sustained
+// excess.
+func (s *Subscription) SetExcessCallback(fn func()) {
+	s.mu.Lock()
+	s.onExcess = fn
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the subscription's counters.
+func (s *Subscription) Stats() SubscriptionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Backlog = s.backlog
+	if s.spill != nil {
+		st.SpilledFrames = s.spill.pending()
+	}
+	return st
+}
+
+func (s *Subscription) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// offer is the enqueue path called by Joint.Deposit; it applies the
+// ingestion policy's excess-record handling (Table 4.2).
+func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		if b != nil {
+			b.release()
+		}
+		return
+	}
+	excess := s.backlog >= s.pol.MemoryBudgetRecords
+	var elasticCB func()
+	switch {
+	case !excess:
+		s.enqueueLocked(f, b)
+		b = nil
+	case s.pol.Discard:
+		// Drop the whole frame until the backlog clears (§7.3.3):
+		// contiguous runs of records go missing.
+		s.stats.Discarded += int64(f.Len())
+	case s.pol.Spill && s.spill != nil:
+		// Park the frame on disk for deferred processing (§7.3.2).
+		ok, err := s.spill.push(f)
+		switch {
+		case err == nil && ok:
+			s.stats.SpilledTotal += int64(f.Len())
+		case s.pol.Throttle:
+			// Spillage budget exhausted: custom policies such as
+			// Spill_then_Throttle (Listing 4.6) regulate the inflow
+			// from here on.
+			s.throttleLocked(f)
+		default:
+			// Spill budget exhausted (or spill error): fall back to
+			// buffering in memory, as the Basic policy would.
+			s.enqueueLocked(f, b)
+			b = nil
+		}
+	case s.pol.Throttle:
+		s.throttleLocked(f)
+	default:
+		// Basic policy: keep buffering in memory (§7.3.1). Memory
+		// growth is the caller's risk, exactly as in the paper.
+		s.enqueueLocked(f, b)
+		b = nil
+		if s.pol.Elastic {
+			elasticCB = s.onExcess
+		}
+	}
+	if excess && s.pol.Elastic && elasticCB == nil {
+		elasticCB = s.onExcess
+	}
+	s.mu.Unlock()
+	if b != nil {
+		b.release()
+	}
+	if elasticCB != nil {
+		elasticCB()
+	}
+}
+
+// throttleLocked randomly samples a frame's records to reduce the effective
+// arrival rate (§7.3.4): losses spread uniformly over the stream.
+func (s *Subscription) throttleLocked(f *hyracks.Frame) {
+	keepP := float64(s.pol.MemoryBudgetRecords) / float64(2*(s.backlog+1))
+	if keepP < s.pol.ThrottleMinRatio {
+		keepP = s.pol.ThrottleMinRatio
+	}
+	kept := hyracks.NewFrame(f.Len())
+	for _, rec := range f.Records {
+		if s.rnd.Float64() < keepP {
+			kept.Append(rec)
+		} else {
+			s.stats.ThrottledOut++
+		}
+	}
+	if kept.Len() > 0 {
+		s.enqueueLocked(kept, nil)
+	}
+}
+
+func (s *Subscription) enqueueLocked(f *hyracks.Frame, b *dataBucket) {
+	s.frames = append(s.frames, f)
+	s.buckets = append(s.buckets, b)
+	s.arrived = append(s.arrived, time.Now())
+	s.backlog += f.Len()
+	s.stats.Received += int64(f.Len())
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next dequeues the next frame, blocking until one is available, the
+// subscription is drained-and-closed (ok=false), or cancel fires (ok=false
+// with canceled=true).
+func (s *Subscription) Next(cancel <-chan struct{}) (f *hyracks.Frame, ok bool) {
+	for {
+		s.mu.Lock()
+		if len(s.frames) > 0 {
+			f = s.frames[0]
+			b := s.buckets[0]
+			at := s.arrived[0]
+			s.frames = s.frames[1:]
+			s.buckets = s.buckets[1:]
+			s.arrived = s.arrived[1:]
+			s.backlog -= f.Len()
+			if s.latency != nil {
+				s.latency.Record(time.Since(at))
+			}
+			// Replenish from spill once memory has room (deferred
+			// processing resumes "as soon as resources are available",
+			// §4.5).
+			s.replenishFromSpillLocked()
+			s.mu.Unlock()
+			if b != nil {
+				b.release()
+			}
+			return f, true
+		}
+		// Memory queue empty: pull directly from spill if present.
+		if s.spill != nil && s.spill.pending() > 0 {
+			sf, err := s.spill.pop()
+			if err == nil && sf != nil {
+				s.mu.Unlock()
+				return sf, true
+			}
+		}
+		if s.closed || s.draining {
+			s.closed = true
+			s.mu.Unlock()
+			return nil, false
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.notify:
+		case <-cancel:
+			return nil, false
+		}
+	}
+}
+
+func (s *Subscription) replenishFromSpillLocked() {
+	if s.spill == nil {
+		return
+	}
+	for s.backlog < s.pol.MemoryBudgetRecords/2 && s.spill.pending() > 0 {
+		f, err := s.spill.pop()
+		if err != nil || f == nil {
+			return
+		}
+		s.frames = append(s.frames, f)
+		s.buckets = append(s.buckets, nil)
+		s.arrived = append(s.arrived, time.Now())
+		s.backlog += f.Len()
+	}
+}
+
+// Backlog reports the in-memory backlog in records.
+func (s *Subscription) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backlog
+}
+
+// drainAndClose stops accepting new frames; buffered frames remain
+// consumable, after which Next reports closed.
+func (s *Subscription) drainAndClose() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// discardAndClose closes immediately, releasing buffered buckets and any
+// spill file.
+func (s *Subscription) discardAndClose() {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	buckets := s.buckets
+	s.frames = nil
+	s.buckets = nil
+	s.arrived = nil
+	s.backlog = 0
+	sp := s.spill
+	s.spill = nil
+	s.mu.Unlock()
+	for _, b := range buckets {
+		if b != nil {
+			b.release()
+		}
+	}
+	if sp != nil {
+		sp.close()
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}

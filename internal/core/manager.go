@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"asterixfeeds/internal/hyracks"
+)
+
+// FeedManagerService is the node-service key under which each node's
+// FeedManager is registered with its hyracks.NodeController.
+const FeedManagerService = "feed-manager"
+
+// FeedManager is the per-node feed runtime state holder (§5.4): it tracks
+// the feed joints hosted by its node and makes them discoverable to
+// co-located operator instances through a search API. Because joints (and
+// their subscriptions) live here rather than inside task lifetimes, a
+// re-scheduled pipeline can find and adopt the state its failed predecessor
+// left behind.
+type FeedManager struct {
+	node string
+
+	mu     sync.Mutex
+	joints map[jointKey]*Joint
+}
+
+type jointKey struct {
+	signature string
+	partition int
+}
+
+// NewFeedManager creates the feed manager for node.
+func NewFeedManager(node string) *FeedManager {
+	return &FeedManager{node: node, joints: make(map[jointKey]*Joint)}
+}
+
+// Node returns the owning node's name.
+func (m *FeedManager) Node() string { return m.node }
+
+// CreateJoint registers (or returns the existing) joint for the given
+// stream signature and producing partition.
+func (m *FeedManager) CreateJoint(signature string, partition int) *Joint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := jointKey{signature, partition}
+	if j, ok := m.joints[k]; ok {
+		return j
+	}
+	j := newJoint(signature, m.node, partition)
+	m.joints[k] = j
+	return j
+}
+
+// Joint looks up a hosted joint by signature and partition; this is the
+// search API a co-located FeedIntake instance uses to find its source.
+func (m *FeedManager) Joint(signature string, partition int) (*Joint, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.joints[jointKey{signature, partition}]
+	return j, ok
+}
+
+// WaitJoint polls for a joint to appear, returning nil if cancel fires
+// first. Tail jobs may be scheduled moments before their head job has
+// registered its joints.
+func (m *FeedManager) WaitJoint(signature string, partition int, cancel <-chan struct{}) *Joint {
+	for {
+		if j, ok := m.Joint(signature, partition); ok {
+			return j
+		}
+		select {
+		case <-cancel:
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// RemoveJoint closes and forgets a joint (feed fully disconnected).
+func (m *FeedManager) RemoveJoint(signature string, partition int) {
+	m.mu.Lock()
+	j, ok := m.joints[jointKey{signature, partition}]
+	if ok {
+		delete(m.joints, jointKey{signature, partition})
+	}
+	m.mu.Unlock()
+	if ok {
+		j.close()
+	}
+}
+
+// Joints lists the signatures of hosted joints (for monitoring and tests).
+func (m *FeedManager) Joints() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.joints))
+	for k := range m.joints {
+		out = append(out, fmt.Sprintf("%s[%d]", k.signature, k.partition))
+	}
+	return out
+}
+
+// feedManagerOf fetches the node-local FeedManager from a task context.
+func feedManagerOf(ctx *hyracks.TaskContext) (*FeedManager, error) {
+	svc := ctx.Service(FeedManagerService)
+	fm, ok := svc.(*FeedManager)
+	if !ok || fm == nil {
+		return nil, fmt.Errorf("core: node %s has no feed manager service", ctx.NodeID)
+	}
+	return fm, nil
+}

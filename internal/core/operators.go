@@ -1,0 +1,545 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/hyracks"
+	"asterixfeeds/internal/storage"
+)
+
+func osMkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// defaultFlushInterval bounds how long a partially filled frame sits in a
+// collect buffer before being pushed out, so low-rate feeds stay live.
+const defaultFlushInterval = 10 * time.Millisecond
+
+// ---------------------------------------------------------------------------
+// FeedCollect: the head-section operator. Each instance houses one adaptor
+// instance, manages its lifecycle, and deposits the parsed records into its
+// feed joint (§5.3.1). The head job consists solely of collect instances
+// (the paper pairs them with a no-op NullSink; here the joint is the only
+// output).
+
+type collectOp struct {
+	signature string
+	adaptor   ConfiguredAdaptor
+	frameCap  int
+	// onFatal reports adaptor give-up to the Central Feed Manager.
+	onFatal func(error)
+}
+
+// Name implements hyracks.OperatorDescriptor.
+func (o *collectOp) Name() string { return "FeedCollect(" + o.signature + ")" }
+
+// CreateRuntime implements hyracks.OperatorDescriptor.
+func (o *collectOp) CreateRuntime(ctx *hyracks.TaskContext, out hyracks.Writer) (hyracks.OperatorRuntime, error) {
+	return &collectRuntime{op: o, ctx: ctx, out: out}, nil
+}
+
+type collectRuntime struct {
+	op  *collectOp
+	ctx *hyracks.TaskContext
+	out hyracks.Writer
+}
+
+func (r *collectRuntime) Open() error                    { return r.out.Open() }
+func (r *collectRuntime) NextFrame(*hyracks.Frame) error { return errors.New("collect is a source") }
+func (r *collectRuntime) Close() error                   { return r.out.Close() }
+func (r *collectRuntime) Fail(err error)                 { r.out.Fail(err) }
+
+// Run implements hyracks.SourceRuntime.
+func (r *collectRuntime) Run() error {
+	defer r.out.Close()
+	fm, err := feedManagerOf(r.ctx)
+	if err != nil {
+		return err
+	}
+	joint := fm.CreateJoint(r.op.signature, r.ctx.Partition)
+
+	// Defer adaptor creation until the output is requested (§5.3.1).
+	if !joint.WaitForSubscriber(r.ctx.Canceled) {
+		return nil
+	}
+	adaptor, err := r.op.adaptor.NewInstance(r.ctx.Partition)
+	if err != nil {
+		return fmt.Errorf("core: creating adaptor instance %d: %w", r.ctx.Partition, err)
+	}
+
+	sink := newBatchingSink(joint, r.frameCap(), defaultFlushInterval, r.ctx.Canceled)
+	defer sink.stop()
+	if err := adaptor.Start(sink, r.ctx.Canceled); err != nil {
+		// The adaptor found reconnection futile: the feed ends (§6.2.3).
+		if r.op.onFatal != nil {
+			r.op.onFatal(err)
+		}
+		return err
+	}
+	return nil
+}
+
+func (r *collectRuntime) frameCap() int {
+	if r.op.frameCap > 0 {
+		return r.op.frameCap
+	}
+	return 128
+}
+
+// batchingSink batches emitted records into frames and deposits them into a
+// joint, flushing on size or on a timer.
+type batchingSink struct {
+	joint    *Joint
+	cap      int
+	mu       sync.Mutex
+	buf      *hyracks.Frame
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	canceled <-chan struct{}
+}
+
+func newBatchingSink(joint *Joint, frameCap int, flushEvery time.Duration, canceled <-chan struct{}) *batchingSink {
+	s := &batchingSink{
+		joint:    joint,
+		cap:      frameCap,
+		buf:      hyracks.NewFrame(frameCap),
+		stopCh:   make(chan struct{}),
+		canceled: canceled,
+	}
+	go func() {
+		t := time.NewTicker(flushEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.flush()
+			case <-s.stopCh:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Emit implements RecordSink.
+func (s *batchingSink) Emit(rec *adm.Record) error {
+	select {
+	case <-s.canceled:
+		return fmt.Errorf("core: feed collect canceled")
+	default:
+	}
+	s.mu.Lock()
+	s.buf.Append(adm.Encode(rec))
+	full := s.buf.Len() >= s.cap
+	var out *hyracks.Frame
+	if full {
+		out = s.buf
+		s.buf = hyracks.NewFrame(s.cap)
+	}
+	s.mu.Unlock()
+	if out != nil {
+		s.joint.Deposit(out)
+	}
+	return nil
+}
+
+func (s *batchingSink) flush() {
+	s.mu.Lock()
+	var out *hyracks.Frame
+	if s.buf.Len() > 0 {
+		out = s.buf
+		s.buf = hyracks.NewFrame(s.cap)
+	}
+	s.mu.Unlock()
+	if out != nil {
+		s.joint.Deposit(out)
+	}
+}
+
+func (s *batchingSink) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.flush()
+}
+
+// ---------------------------------------------------------------------------
+// FeedIntake: the first operator of a tail section. Each instance locates
+// the co-located source joint through the local Feed Manager's search API,
+// subscribes (or re-attaches after a failure), and pushes arriving frames
+// downstream (§5.3.1). With at-least-once enabled it assigns tracking ids
+// and retains payloads until acknowledged (§5.6).
+
+type intakeOp struct {
+	conn *Connection
+}
+
+// Name implements hyracks.OperatorDescriptor.
+func (o *intakeOp) Name() string { return "FeedIntake(" + o.conn.id + ")" }
+
+// CreateRuntime implements hyracks.OperatorDescriptor.
+func (o *intakeOp) CreateRuntime(ctx *hyracks.TaskContext, out hyracks.Writer) (hyracks.OperatorRuntime, error) {
+	return &intakeRuntime{op: o, ctx: ctx, out: out}, nil
+}
+
+type intakeRuntime struct {
+	op  *intakeOp
+	ctx *hyracks.TaskContext
+	out hyracks.Writer
+}
+
+func (r *intakeRuntime) Open() error                    { return r.out.Open() }
+func (r *intakeRuntime) NextFrame(*hyracks.Frame) error { return errors.New("intake is a source") }
+func (r *intakeRuntime) Close() error                   { return r.out.Close() }
+func (r *intakeRuntime) Fail(err error)                 { r.out.Fail(err) }
+
+// Run implements hyracks.SourceRuntime.
+func (r *intakeRuntime) Run() error {
+	defer r.out.Close()
+	conn := r.op.conn
+	fm, err := feedManagerOf(r.ctx)
+	if err != nil {
+		return err
+	}
+	joint := fm.WaitJoint(conn.sourceSignature, r.ctx.Partition, r.ctx.Canceled)
+	if joint == nil {
+		return nil // canceled while waiting
+	}
+	spillPath := filepath.Join(spillDir(r.ctx), fmt.Sprintf("%s-p%d.spill", sanitize(conn.subID), r.ctx.Partition))
+	sub, err := joint.Subscribe(conn.subID, conn.pol, spillPath)
+	if err != nil {
+		return err
+	}
+	sub.SetLatencyRecorder(conn.Metrics.IngestionLatency)
+
+	// Pump subscription frames into a channel so the main loop can also
+	// service replays and disconnect signals.
+	frames := make(chan *hyracks.Frame)
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(frames)
+		for {
+			f, ok := sub.Next(r.ctx.Canceled)
+			if !ok {
+				return
+			}
+			select {
+			case frames <- f:
+			case <-r.ctx.Canceled:
+				return
+			case <-pumpDone:
+				return
+			}
+		}
+	}()
+	defer close(pumpDone)
+
+	// Watch for a graceful disconnect: unsubscribe so the subscription
+	// drains its backlog and then reports closed.
+	unsubDone := make(chan struct{})
+	go func() {
+		select {
+		case <-conn.disconnecting:
+			joint.Unsubscribe(conn.subID)
+		case <-unsubDone:
+		}
+	}()
+	defer close(unsubDone)
+
+	var replay <-chan *hyracks.Frame
+	if conn.tracker != nil {
+		replay = conn.tracker.register(r.ctx.Partition)
+	}
+
+	for {
+		select {
+		case f, ok := <-frames:
+			if !ok {
+				return nil // drained after disconnect, or canceled
+			}
+			out := f
+			if conn.tracker != nil {
+				out = hyracks.NewFrame(f.Len())
+				for _, rec := range f.Records {
+					id := conn.tracker.track(r.ctx.Partition, rec)
+					out.Append(wrapTracked(id, rec))
+				}
+			}
+			conn.Metrics.Collected.Add(int64(f.Len()))
+			if err := r.out.NextFrame(out); err != nil {
+				return nil
+			}
+		case f := <-replay:
+			conn.Metrics.Replayed.Add(int64(f.Len()))
+			if err := r.out.NextFrame(f); err != nil {
+				return nil
+			}
+		case <-r.ctx.Canceled:
+			return nil
+		}
+	}
+}
+
+func spillDir(ctx *hyracks.TaskContext) string {
+	if sm, ok := ctx.Service(storage.ServiceName).(*storage.Manager); ok && sm != nil {
+		dir := filepath.Join(sm.Dir(), "spill")
+		if err := osMkdirAll(dir); err == nil {
+			return dir
+		}
+	}
+	return "."
+}
+
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch c {
+		case '/', '\\', ':', '>', ' ':
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// ---------------------------------------------------------------------------
+// Assign: the compute-stage operator. Each instance applies the UDF to every
+// record inside the MetaFeed sandbox and offers its output through a feed
+// joint so descendant feeds can subscribe (§5.3.2).
+
+type assignOp struct {
+	conn      *Connection
+	fn        RecordFunction
+	signature string
+	last      bool // last compute stage feeds the connection's Computed counter
+}
+
+// Name implements hyracks.OperatorDescriptor.
+func (o *assignOp) Name() string { return "Assign(" + o.signature + ")" }
+
+// CreateRuntime implements hyracks.OperatorDescriptor.
+func (o *assignOp) CreateRuntime(ctx *hyracks.TaskContext, out hyracks.Writer) (hyracks.OperatorRuntime, error) {
+	fm, err := feedManagerOf(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &assignRuntime{
+		op:    o,
+		ctx:   ctx,
+		out:   out,
+		joint: fm.CreateJoint(o.signature, ctx.Partition),
+		mf:    newMetaFeed("assign:"+o.fn.Name(), ctx.NodeID, o.conn.pol, o.conn.Log),
+	}, nil
+}
+
+type assignRuntime struct {
+	op    *assignOp
+	ctx   *hyracks.TaskContext
+	out   hyracks.Writer
+	joint *Joint
+	mf    *metaFeed
+}
+
+func (r *assignRuntime) Open() error { return r.out.Open() }
+
+func (r *assignRuntime) NextFrame(f *hyracks.Frame) error {
+	if fc, ok := r.op.fn.(FrameCoster); ok {
+		if d := fc.FrameDelay(f.Len()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.ctx.Canceled:
+				return hyracks.ErrJobCanceled
+			}
+		}
+	}
+	out := hyracks.NewFrame(f.Len())
+	for _, rec := range f.Records {
+		id, payload, tracked, err := unwrapRecord(rec)
+		if err != nil {
+			return err
+		}
+		var produced []byte
+		skipped, fatal := r.mf.guard(payload, func() error {
+			v, _, err := adm.Decode(payload)
+			if err != nil {
+				return err
+			}
+			in, ok := v.(*adm.Record)
+			if !ok {
+				return fmt.Errorf("assign: value is %s, want record", v.Tag())
+			}
+			res, err := r.op.fn.Apply(in)
+			if err != nil {
+				return err
+			}
+			if res != nil {
+				produced = adm.Encode(res)
+			}
+			return nil
+		})
+		if fatal != nil {
+			return fatal
+		}
+		if skipped {
+			r.op.conn.Metrics.SoftFailures.Add(1)
+			continue
+		}
+		if produced == nil {
+			continue // UDF filtered the record out
+		}
+		if tracked {
+			produced = wrapTracked(id, produced)
+		}
+		out.Append(produced)
+	}
+	if out.Len() == 0 {
+		return nil
+	}
+	if r.op.last {
+		r.op.conn.Metrics.Computed.Add(int64(out.Len()))
+	}
+	r.joint.Deposit(out)
+	return r.out.NextFrame(out)
+}
+
+func (r *assignRuntime) Close() error   { return r.out.Close() }
+func (r *assignRuntime) Fail(err error) { r.out.Fail(err) }
+
+// ---------------------------------------------------------------------------
+// Store: the tail's final stage. Each instance is co-located with one
+// partition of the target dataset, inserting records into the primary index
+// and updating secondary indexes, with per-record soft-failure handling and
+// grouped at-least-once acks (§5.3.1, §5.6).
+
+type storeOp struct {
+	conn *Connection
+	ds   *storage.Dataset
+	// cluster resolves replica nodes' storage managers when the dataset
+	// is replicated (the §9.2.2 extension).
+	cluster *hyracks.Cluster
+}
+
+// Name implements hyracks.OperatorDescriptor.
+func (o *storeOp) Name() string { return "Store(" + o.ds.QualifiedName() + ")" }
+
+// CreateRuntime implements hyracks.OperatorDescriptor.
+func (o *storeOp) CreateRuntime(ctx *hyracks.TaskContext, out hyracks.Writer) (hyracks.OperatorRuntime, error) {
+	sm, ok := ctx.Service(storage.ServiceName).(*storage.Manager)
+	if !ok || sm == nil {
+		return nil, fmt.Errorf("core: node %s has no storage manager", ctx.NodeID)
+	}
+	// The task's partition index equals its position in the nodegroup
+	// (the store stage is location-constrained to the nodegroup in order).
+	part, err := sm.OpenPartitionIdx(o.ds, ctx.Partition, false)
+	if err != nil {
+		return nil, err
+	}
+	rt := &storeRuntime{
+		op:   o,
+		ctx:  ctx,
+		out:  out,
+		part: part,
+		mf:   newMetaFeed("store:"+o.ds.QualifiedName(), ctx.NodeID, o.conn.pol, o.conn.Log),
+	}
+	// Synchronous replication: open the replica partition on the next
+	// nodegroup member. A dead replica node degrades to unreplicated
+	// writes rather than blocking ingestion.
+	if replicaNode := o.ds.ReplicaOf(ctx.Partition); replicaNode != "" && replicaNode != ctx.NodeID && o.cluster != nil {
+		if n := o.cluster.Node(replicaNode); n != nil && n.Alive() {
+			if rsm, ok := n.Service(storage.ServiceName).(*storage.Manager); ok && rsm != nil {
+				rp, err := rsm.OpenPartitionIdx(o.ds, ctx.Partition, true)
+				if err == nil {
+					rt.replica = rp
+					rt.replicaNode = n
+				}
+			}
+		}
+	}
+	return rt, nil
+}
+
+type storeRuntime struct {
+	op          *storeOp
+	ctx         *hyracks.TaskContext
+	out         hyracks.Writer
+	part        *storage.Partition
+	replica     *storage.Partition
+	replicaNode *hyracks.NodeController
+	mf          *metaFeed
+}
+
+func (r *storeRuntime) Open() error { return r.out.Open() }
+
+func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
+	conn := r.op.conn
+	var acks []uint64
+	persisted := int64(0)
+	for _, rec := range f.Records {
+		id, payload, tracked, err := unwrapRecord(rec)
+		if err != nil {
+			return err
+		}
+		if !conn.storeEnabled.Load() {
+			// Disconnected-but-kept-alive: records flow for child feeds
+			// but are not persisted here. Ack so intake memory frees.
+			if tracked {
+				acks = append(acks, id)
+			}
+			continue
+		}
+		var inserted *adm.Record
+		skipped, fatal := r.mf.guard(payload, func() error {
+			v, err := adm.DecodeOne(payload)
+			if err != nil {
+				return err
+			}
+			recVal, ok := v.(*adm.Record)
+			if !ok {
+				return fmt.Errorf("store: value is %s, want record", v.Tag())
+			}
+			if err := r.part.Insert(recVal); err != nil {
+				return err
+			}
+			// Synchronous replication: mirror the insert to the replica
+			// partition (the in-process stand-in for a replication RPC).
+			if r.replica != nil && r.replicaNode.Alive() {
+				if err := r.replica.Insert(recVal); err != nil {
+					return err
+				}
+			}
+			inserted = recVal
+			return nil
+		})
+		if fatal != nil {
+			return fatal
+		}
+		if skipped {
+			conn.Metrics.SoftFailures.Add(1)
+			// A soft-failed record is still acknowledged: at-least-once
+			// covers loss, not unprocessable input.
+			if tracked {
+				acks = append(acks, id)
+			}
+			continue
+		}
+		persisted++
+		if tracked {
+			acks = append(acks, id)
+		}
+		if obs := conn.onPersist.Load(); obs != nil && inserted != nil {
+			(*obs)(inserted)
+		}
+	}
+	if persisted > 0 {
+		conn.Metrics.Persisted.Add(persisted)
+	}
+	// Group this frame's acks into one message (§5.6's windowed encoding).
+	if len(acks) > 0 && conn.tracker != nil {
+		conn.tracker.ack(acks)
+	}
+	return r.out.NextFrame(f)
+}
+
+func (r *storeRuntime) Close() error   { return r.out.Close() }
+func (r *storeRuntime) Fail(err error) { r.out.Fail(err) }

@@ -1,0 +1,132 @@
+// Package core implements the paper's primary contribution: data feed
+// management for AsterixDB. It provides feed adaptors, feed joints, the
+// intake/compute/store operators that make up data ingestion pipelines,
+// cascade networks over shared head sections, ingestion policies (Basic,
+// Spill, Discard, Throttle, Elastic, and user-composed customs), the
+// fault-tolerance protocol of Chapter 6, at-least-once delivery (§5.6), and
+// the congestion machinery of Chapter 7.
+//
+// The package is layered on hyracks (execution), storage (persistence), adm
+// (data model), and metadata (catalog). The Manager type is the Central
+// Feed Manager; one FeedManager service runs per node.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asterixfeeds/internal/metadata"
+)
+
+// Policy is a compiled ingestion policy: the runtime form of a
+// metadata.PolicyDecl (Table 4.1). It dictates the handling of excess
+// records, failures, and delivery guarantees for one feed connection.
+type Policy struct {
+	// Name is the policy's catalog name.
+	Name string
+	// Spill diverts excess records to disk for deferred processing.
+	Spill bool
+	// Discard drops excess records until the backlog clears.
+	Discard bool
+	// Throttle randomly samples records to reduce the effective arrival
+	// rate when a backlog forms.
+	Throttle bool
+	// Elastic asks the Central Feed Manager to re-structure the pipeline
+	// (scale compute out/in) in response to sustained backlog.
+	Elastic bool
+	// RecoverSoft keeps the feed alive across per-record runtime
+	// exceptions by skipping the offending record.
+	RecoverSoft bool
+	// RecoverHard re-schedules the pipeline around hardware failures.
+	RecoverHard bool
+	// AtLeastOnce enables tracking ids, store-side acks, and intake-side
+	// replay (§5.6).
+	AtLeastOnce bool
+	// MaxSpillBytes bounds the on-disk spillage; <=0 means unbounded.
+	MaxSpillBytes int64
+	// SoftFailureLogData additionally records the offending record's
+	// payload in the exception log.
+	SoftFailureLogData bool
+	// MaxConsecutiveSoftFailures ends the feed when that many records in
+	// a row raise exceptions (a signal of a systematic bug, §6.1.2).
+	MaxConsecutiveSoftFailures int
+	// MemoryBudgetRecords is the per-subscription in-memory backlog
+	// budget beyond which records count as "excess".
+	MemoryBudgetRecords int
+	// ThrottleMinRatio floors the throttling keep-probability.
+	ThrottleMinRatio float64
+}
+
+// DefaultMemoryBudgetRecords is the per-subscription backlog budget when the
+// policy does not override it.
+const DefaultMemoryBudgetRecords = 5000
+
+// CompilePolicy converts a catalog policy declaration into its runtime form.
+func CompilePolicy(decl *metadata.PolicyDecl) (*Policy, error) {
+	p := &Policy{
+		Name:                       decl.Name,
+		Spill:                      decl.Bool(metadata.ParamSpill, false),
+		Discard:                    decl.Bool(metadata.ParamDiscard, false),
+		Throttle:                   decl.Bool(metadata.ParamThrottle, false),
+		Elastic:                    decl.Bool(metadata.ParamElastic, false),
+		RecoverSoft:                decl.Bool(metadata.ParamRecoverSoft, true),
+		RecoverHard:                decl.Bool(metadata.ParamRecoverHard, true),
+		AtLeastOnce:                decl.Bool(metadata.ParamAtLeastOnce, false),
+		SoftFailureLogData:         decl.Bool(metadata.ParamSoftFailureLog, false),
+		MaxConsecutiveSoftFailures: 100,
+		MemoryBudgetRecords:        DefaultMemoryBudgetRecords,
+		ThrottleMinRatio:           0.05,
+	}
+	if v := decl.Param(metadata.ParamMaxSoftFailures, ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s: bad %s: %v", decl.Name, metadata.ParamMaxSoftFailures, err)
+		}
+		p.MaxConsecutiveSoftFailures = n
+	}
+	if v := decl.Param(metadata.ParamMemoryBudget, ""); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s: bad %s: %v", decl.Name, metadata.ParamMemoryBudget, err)
+		}
+		p.MemoryBudgetRecords = n
+	}
+	if v := decl.Param(metadata.ParamMaxSpillSize, ""); v != "" {
+		n, err := parseByteSize(v)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s: bad %s: %v", decl.Name, metadata.ParamMaxSpillSize, err)
+		}
+		p.MaxSpillBytes = n
+	}
+	if v := decl.Param(metadata.ParamThrottleMinRatio, ""); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s: bad %s: %v", decl.Name, metadata.ParamThrottleMinRatio, err)
+		}
+		p.ThrottleMinRatio = f
+	}
+	return p, nil
+}
+
+// parseByteSize parses "512MB"-style sizes (B, KB, MB, GB suffixes, powers
+// of 1024) or plain byte counts.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}

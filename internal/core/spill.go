@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"asterixfeeds/internal/hyracks"
+)
+
+// spillFile is the on-disk overflow area the Spill policy uses for excess
+// records (§7.3.2): frames are appended at the tail and replayed from the
+// head in FIFO order once memory frees up.
+type spillFile struct {
+	f        *os.File
+	w        *bufio.Writer
+	readOff  int64
+	writeOff int64
+	frames   int
+	bytes    int64
+	maxBytes int64
+}
+
+// newSpillFile creates a spill file at path. maxBytes <= 0 means unbounded.
+func newSpillFile(path string, maxBytes int64) (*spillFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating spill file: %w", err)
+	}
+	return &spillFile{f: f, w: bufio.NewWriterSize(f, 1<<16), maxBytes: maxBytes}, nil
+}
+
+// full reports whether appending n more bytes would exceed the budget.
+func (s *spillFile) full(n int) bool {
+	return s.maxBytes > 0 && s.bytes+int64(n) > s.maxBytes
+}
+
+// push appends one frame. Returns false (without writing) when the spill
+// budget would be exceeded.
+func (s *spillFile) push(fr *hyracks.Frame) (bool, error) {
+	size := 4
+	for _, r := range fr.Records {
+		size += 4 + len(r)
+	}
+	if s.full(size) {
+		return false, nil
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(fr.Len()))
+	if _, err := s.w.Write(lenBuf[:]); err != nil {
+		return false, err
+	}
+	for _, r := range fr.Records {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(r)))
+		if _, err := s.w.Write(lenBuf[:]); err != nil {
+			return false, err
+		}
+		if _, err := s.w.Write(r); err != nil {
+			return false, err
+		}
+	}
+	s.writeOff += int64(size)
+	s.bytes += int64(size)
+	s.frames++
+	return true, nil
+}
+
+// pop reads the oldest spilled frame, or nil when the spill is empty.
+func (s *spillFile) pop() (*hyracks.Frame, error) {
+	if s.frames == 0 {
+		return nil, nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, err
+	}
+	var lenBuf [4]byte
+	if _, err := s.f.ReadAt(lenBuf[:], s.readOff); err != nil {
+		return nil, err
+	}
+	s.readOff += 4
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	fr := hyracks.NewFrame(n)
+	for i := 0; i < n; i++ {
+		if _, err := s.f.ReadAt(lenBuf[:], s.readOff); err != nil {
+			return nil, err
+		}
+		s.readOff += 4
+		rl := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		rec := make([]byte, rl)
+		if _, err := io.ReadFull(io.NewSectionReader(s.f, s.readOff, int64(rl)), rec); err != nil {
+			return nil, err
+		}
+		s.readOff += int64(rl)
+		fr.Append(rec)
+	}
+	s.frames--
+	if s.frames == 0 {
+		// Fully drained: reclaim the file space.
+		if err := s.reset(); err != nil {
+			return nil, err
+		}
+	}
+	return fr, nil
+}
+
+func (s *spillFile) reset() error {
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.w.Reset(s.f)
+	s.readOff, s.writeOff, s.bytes = 0, 0, 0
+	return nil
+}
+
+// pending reports the number of spilled frames awaiting replay.
+func (s *spillFile) pending() int { return s.frames }
+
+// close releases and deletes the spill file.
+func (s *spillFile) close() error {
+	s.w.Flush()
+	path := s.f.Name()
+	s.f.Close()
+	return os.Remove(path)
+}

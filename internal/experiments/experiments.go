@@ -1,0 +1,110 @@
+// Package experiments implements the paper's evaluation: one function per
+// table and figure, each building the workload, running it on a simulated
+// cluster, and returning the rows/series the paper reports. cmd/feedbench
+// and the repository-root benchmarks are thin wrappers over this package.
+//
+// Durations and rates are scaled down from the paper's 400-second/20-minute
+// windows to seconds (see DESIGN.md, Substitutions); every experiment takes
+// a Scale so the harness can run quick (CI) or long (report) variants.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"asterixfeeds"
+	"asterixfeeds/internal/core"
+	"asterixfeeds/internal/hyracks"
+)
+
+// Scale sets the time base for an experiment run.
+type Scale struct {
+	// Window is the instantaneous-throughput bucket width (the paper
+	// samples every 2 s).
+	Window time.Duration
+	// RunFor is the measured interval (the paper's 400 s / 20 min).
+	RunFor time.Duration
+}
+
+// QuickScale runs experiments in a few seconds; used by `go test -bench`.
+func QuickScale() Scale {
+	return Scale{Window: 200 * time.Millisecond, RunFor: 2 * time.Second}
+}
+
+// ReportScale runs experiments long enough for smooth curves; used by
+// cmd/feedbench when regenerating EXPERIMENTS.md.
+func ReportScale() Scale {
+	return Scale{Window: 250 * time.Millisecond, RunFor: 6 * time.Second}
+}
+
+// nodeNames generates n node names nc1..ncN.
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("nc%d", i+1)
+	}
+	return out
+}
+
+// startInstance boots an instance tuned for experiments. The failure
+// detector is deliberately slack: on a saturated single-CPU host a tight
+// heartbeat timeout yields false-positive node deaths (the experiments that
+// care about detection speed — fig6.5 — configure their own).
+func startInstance(nodes int, window time.Duration) (*asterixfeeds.Instance, error) {
+	return startInstanceHB(nodes, window, 20*time.Millisecond, 500*time.Millisecond)
+}
+
+// startInstanceHB boots an instance with explicit failure-detector timing.
+func startInstanceHB(nodes int, window, hbInterval, hbTimeout time.Duration) (*asterixfeeds.Instance, error) {
+	return asterixfeeds.Start(asterixfeeds.Config{
+		Nodes: nodeNames(nodes),
+		Hyracks: hyracks.Config{
+			HeartbeatInterval: hbInterval,
+			HeartbeatTimeout:  hbTimeout,
+			QueueDepth:        8,
+		},
+		Feeds: core.Options{
+			MetricsWindow:   window,
+			AckTimeout:      500 * time.Millisecond,
+			ElasticInterval: 50 * time.Millisecond,
+		},
+	})
+}
+
+// tweetDDL declares the experiment schema in dataverse feeds.
+const tweetDDL = `
+use dataverse feeds;
+create type TwitterUser as open {
+	screen_name: string,
+	lang: string,
+	friends_count: int32,
+	statuses_count: int32,
+	name: string,
+	followers_count: int32
+};
+create type Tweet as open {
+	id: string,
+	user: TwitterUser,
+	latitude: double?,
+	longitude: double?,
+	created_at: string,
+	message_text: string,
+	country: string?
+};
+`
+
+// declareTweetDataset creates one tweet dataset.
+func declareTweetDataset(inst *asterixfeeds.Instance, name string) error {
+	_, err := inst.Exec(fmt.Sprintf(`use dataverse feeds;
+		create dataset %s(Tweet) primary key id;`, name))
+	return err
+}
+
+// seriesToRates converts a count series to per-second rates.
+func seriesToRates(series []int64, window time.Duration) []float64 {
+	out := make([]float64, len(series))
+	for i, n := range series {
+		out[i] = float64(n) / window.Seconds()
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps experiment tests fast; shapes, not magnitudes, are
+// asserted.
+func tinyScale() Scale {
+	return Scale{Window: 100 * time.Millisecond, RunFor: 800 * time.Millisecond}
+}
+
+func TestTable51ShapeFeedBeatsBatches(t *testing.T) {
+	cfg := Table51Config{Records: 120, BatchSizes: []int{1, 20}, Preload: 100}
+	rows, err := Table51(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	batch1, batch20, feed := rows[0].AvgMsPerRecord, rows[1].AvgMsPerRecord, rows[2].AvgMsPerRecord
+	// The paper's ordering: batch size 1 slowest, batch 20 faster, feed
+	// fastest (Table 5.1: 73.75 / 6.2 / 0.03 ms).
+	if !(batch1 > batch20) {
+		t.Errorf("batch1 (%.3f ms) should exceed batch20 (%.3f ms)", batch1, batch20)
+	}
+	if !(batch20 > feed) {
+		t.Errorf("batch20 (%.3f ms) should exceed feed (%.3f ms)", batch20, feed)
+	}
+	var buf bytes.Buffer
+	RenderTable51(&buf, rows)
+	if !strings.Contains(buf.String(), "Data Feed") {
+		t.Fatal("render missing feed row")
+	}
+}
+
+func TestFig513ShapeCascadeWins(t *testing.T) {
+	cfg := DefaultFig513Config(tinyScale())
+	cfg.Overlaps = []int{20, 80}
+	rows, err := Fig513(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Under CPU overload the cascade configuration persists at least
+		// as much via Feed_B as the independent configuration (it does
+		// strictly less work per record). 10% tolerance for single-CPU
+		// scheduler noise.
+		if float64(r.CascadeB) < 0.9*float64(r.IndependentB) {
+			t.Errorf("overlap %d: cascade FeedB (%d) below independent (%d)",
+				r.OverlapPct, r.CascadeB, r.IndependentB)
+		}
+	}
+	// At high %OVERLAP the shared computation is most of the work, so the
+	// cascade's total advantage must be material. (The widening trend
+	// across all four points shows at report scale; per-row gains are too
+	// noisy on one CPU for a strict monotonicity assertion here.)
+	last := rows[len(rows)-1]
+	gTotal := ratio(last.CascadeA+last.CascadeB, last.IndependentA+last.IndependentB)
+	if gTotal < 1.05 {
+		t.Errorf("total gain at %d%% overlap = %.2f, want >= 1.05", last.OverlapPct, gTotal)
+	}
+	var buf bytes.Buffer
+	RenderFig513(&buf, rows)
+	if !strings.Contains(buf.String(), "%OVERLAP") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFig516ShapeLinearScaleup(t *testing.T) {
+	cfg := DefaultFig516Config(tinyScale())
+	cfg.ClusterSizes = []int{1, 2, 4}
+	cfg.PerGeneratorRate = 3000
+	rows, err := Fig516(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persisted volume grows with cluster size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Persisted <= rows[i-1].Persisted {
+			t.Errorf("cluster %d persisted %d, not above cluster %d's %d",
+				rows[i].ClusterSize, rows[i].Persisted, rows[i-1].ClusterSize, rows[i-1].Persisted)
+		}
+	}
+	// Rough linearity: 4 nodes at least 2x one node.
+	if rows[2].Persisted < 2*rows[0].Persisted {
+		t.Errorf("4-node throughput %d < 2x 1-node %d", rows[2].Persisted, rows[0].Persisted)
+	}
+	var buf bytes.Buffer
+	RenderFig516(&buf, rows)
+	if !strings.Contains(buf.String(), "Scaleup") {
+		t.Fatal("render missing scaleup column")
+	}
+}
+
+func TestFig65ShapeRecoversFromFailures(t *testing.T) {
+	cfg := DefaultFig65Config(tinyScale())
+	res, err := Fig65(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrimaryTotal == 0 || res.SecondaryTotal == 0 {
+		t.Fatalf("totals = %d / %d", res.PrimaryTotal, res.SecondaryTotal)
+	}
+	// The paper reports 2-4 s recovery; the simulation recovers within a
+	// couple of seconds at worst.
+	if res.Recovery1 > 5*time.Second || res.Recovery2 > 5*time.Second {
+		t.Fatalf("recovery too slow: %v / %v", res.Recovery1, res.Recovery2)
+	}
+	// Ingestion continued after the second failure: the tail of both
+	// series has nonzero windows.
+	tailHasData := func(series []int64) bool {
+		n := 0
+		for _, v := range series[res.Failure2Window:] {
+			if v > 0 {
+				n++
+			}
+		}
+		return n > 0
+	}
+	if len(res.SecondarySeries) > res.Failure2Window && !tailHasData(res.SecondarySeries) {
+		t.Fatal("secondary feed never resumed after failure 2")
+	}
+	var buf bytes.Buffer
+	RenderFig65(&buf, res)
+	if !strings.Contains(buf.String(), "recovery times") {
+		t.Fatal("render missing recovery line")
+	}
+}
+
+func TestPoliciesShape(t *testing.T) {
+	cfg := DefaultFig7Config(tinyScale())
+	rows, err := Policies(cfg, []string{"Discard", "Throttle", "Spill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PolicyRunResult{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	if byName["Discard"].Discarded == 0 {
+		t.Error("Discard policy discarded nothing under overload")
+	}
+	if byName["Throttle"].ThrottledOut == 0 {
+		t.Error("Throttle policy throttled nothing under overload")
+	}
+	if byName["Spill"].Spilled == 0 {
+		t.Error("Spill policy spilled nothing under overload")
+	}
+	// Spill loses nothing: it persists more than Discard in total
+	// (deferred processing catches up).
+	if byName["Spill"].PersistedTotal < byName["Discard"].PersistedTotal {
+		t.Errorf("Spill persisted %d < Discard %d",
+			byName["Spill"].PersistedTotal, byName["Discard"].PersistedTotal)
+	}
+	var buf bytes.Buffer
+	RenderPolicies(&buf, rows)
+	if !strings.Contains(buf.String(), "[Discard]") {
+		t.Fatal("render missing policy sections")
+	}
+}
+
+func TestElasticPolicyScalesOut(t *testing.T) {
+	cfg := DefaultFig7Config(tinyScale())
+	cfg.Cycles = 3
+	rows, err := Policies(cfg, []string{"Elastic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.FinalComputeCount <= 1 && len(r.ElasticEvents) == 0 {
+		t.Errorf("elastic policy never scaled: compute=%d events=%v", r.FinalComputeCount, r.ElasticEvents)
+	}
+}
+
+func TestDiscardVsThrottlePatternShapes(t *testing.T) {
+	cfg := DefaultFig7Config(tinyScale())
+	rows, err := DiscardVsThrottlePatterns(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	discard, throttle := rows[0], rows[1]
+	if discard.GapCount == 0 || throttle.GapCount == 0 {
+		t.Fatalf("no gaps under overload: %+v %+v", discard, throttle)
+	}
+	// Figure 7.9 vs 7.10: discard's gaps are long contiguous runs;
+	// throttle's are many short ones.
+	if discard.MaxGapLen <= throttle.MaxGapLen {
+		t.Errorf("discard max gap %d not longer than throttle's %d", discard.MaxGapLen, throttle.MaxGapLen)
+	}
+	if throttle.GapCount <= discard.GapCount {
+		t.Errorf("throttle gap count %d not above discard's %d", throttle.GapCount, discard.GapCount)
+	}
+	var buf bytes.Buffer
+	RenderPatterns(&buf, rows)
+	if !strings.Contains(buf.String(), "MeanGap") {
+		t.Fatal("render missing columns")
+	}
+}
+
+func TestStormMongoDurableVsNonDurable(t *testing.T) {
+	cfg := DefaultStormMongoConfig(tinyScale(), t.TempDir())
+	durable, err := StormMongo(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nondurable, err := StormMongo(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable.PersistedTotal == 0 || nondurable.PersistedTotal == 0 {
+		t.Fatalf("totals = %d / %d", durable.PersistedTotal, nondurable.PersistedTotal)
+	}
+	// Figure 7.11 vs 7.12: durability caps throughput well below the
+	// non-durable configuration.
+	if float64(durable.PersistedTotal) > 0.7*float64(nondurable.PersistedTotal) {
+		t.Errorf("durable (%d) not substantially below non-durable (%d)",
+			durable.PersistedTotal, nondurable.PersistedTotal)
+	}
+	var buf bytes.Buffer
+	RenderStormMongo(&buf, durable)
+	RenderStormMongo(&buf, nondurable)
+	if !strings.Contains(buf.String(), "7.11") || !strings.Contains(buf.String(), "7.12") {
+		t.Fatal("render missing figure labels")
+	}
+}

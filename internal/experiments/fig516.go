@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/core"
+)
+
+func spinFn(name string, iterations int) core.RecordFunction {
+	return core.SpinFunction(name, iterations)
+}
+
+// Fig516Row is one x-position of Figures 5.14/5.16: records successfully
+// ingested (persisted and indexed) in the measurement window at a given
+// cluster size.
+type Fig516Row struct {
+	// ClusterSize is the number of AsterixDB worker nodes.
+	ClusterSize int
+	// Persisted is the number of records ingested during the window.
+	Persisted int64
+	// OfferedAggregate is the aggregate generation rate (twps).
+	OfferedAggregate int
+}
+
+// Fig516Config parameterizes the scalability experiment (§5.7.3).
+type Fig516Config struct {
+	Scale Scale
+	// ClusterSizes are the x-axis points (paper: 1..10).
+	ClusterSizes []int
+	// Generators is the intake parallelism (paper: 6 TweetGen instances).
+	Generators int
+	// PerGeneratorRate is each generator's rate; the aggregate must
+	// exceed the largest cluster's capacity so excess is discarded.
+	PerGeneratorRate int
+	// PerRecordCost is the UDF's latency per record; one compute
+	// partition's capacity is 1/PerRecordCost (see DESIGN.md on why the
+	// cost is modeled as latency rather than CPU burn).
+	PerRecordCost time.Duration
+}
+
+// DefaultFig516Config returns scaled-down defaults: per-node capacity
+// ~2000 rec/s (500us per record), aggregate offered 6x4000 = 24000 rec/s,
+// which saturates clusters up to ~10 nodes — the shape of Figure 5.14.
+func DefaultFig516Config(s Scale) Fig516Config {
+	return Fig516Config{
+		Scale:            s,
+		ClusterSizes:     []int{1, 2, 4, 8, 10},
+		Generators:       6,
+		PerGeneratorRate: 4000,
+		PerRecordCost:    500 * time.Microsecond,
+	}
+}
+
+// Fig516 reproduces Figures 5.14/5.15/5.16: the feed facility's ability to
+// ingest an increasingly large volume as nodes are added. Six parallel
+// TweetGen instances push at an aggregate rate far above small-cluster
+// capacity; the Discard policy sheds the excess; persisted volume over a
+// fixed window is the metric and should grow linearly with cluster size
+// until offered load is met.
+func Fig516(cfg Fig516Config) ([]Fig516Row, error) {
+	var rows []Fig516Row
+	for _, n := range cfg.ClusterSizes {
+		persisted, err := runScalePoint(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("cluster size %d: %w", n, err)
+		}
+		rows = append(rows, Fig516Row{
+			ClusterSize:      n,
+			Persisted:        persisted,
+			OfferedAggregate: cfg.Generators * cfg.PerGeneratorRate,
+		})
+	}
+	return rows, nil
+}
+
+func runScalePoint(cfg Fig516Config, nodes int) (int64, error) {
+	inst, err := startInstance(nodes, cfg.Scale.Window)
+	if err != nil {
+		return 0, err
+	}
+	defer inst.Close()
+	if _, err := inst.Exec(tweetDDL); err != nil {
+		return 0, err
+	}
+	if err := declareTweetDataset(inst, "ProcessedTweets"); err != nil {
+		return 0, err
+	}
+	// The compute cost: a latency-bound "addFeatures" UDF (Listing 5.19
+	// associates a hashtag-collecting Java UDF; its cost here is the
+	// tunable stand-in).
+	inst.Feeds().Functions().Register(named("exp#addFeatures", core.ComposeFunctions(
+		core.AddHashTags(),
+		core.DelayFunction("exp#cost", cfg.PerRecordCost),
+	)))
+
+	_, err = inst.Exec(fmt.Sprintf(`use dataverse feeds;
+		create feed TweetGenFeed using tweetgen_adaptor
+			("rate"="%d", "partitions"="%d", "seed"="17")
+		apply function "exp#addFeatures";
+		connect feed TweetGenFeed to dataset ProcessedTweets using policy Discard;`,
+		cfg.PerGeneratorRate, cfg.Generators))
+	if err != nil {
+		return 0, err
+	}
+	time.Sleep(cfg.Scale.RunFor)
+	conn, _ := inst.Feeds().Connection("feeds", "TweetGenFeed", "ProcessedTweets")
+	if conn == nil {
+		return 0, fmt.Errorf("experiments: connection missing")
+	}
+	return conn.Metrics.Persisted.Total(), nil
+}
+
+// named wraps a RecordFunction under a different registry name.
+func named(name string, fn core.RecordFunction) core.RecordFunction {
+	return &renamed{name: name, fn: fn}
+}
+
+type renamed struct {
+	name string
+	fn   core.RecordFunction
+}
+
+func (r *renamed) Name() string { return r.name }
+
+func (r *renamed) Apply(rec *adm.Record) (*adm.Record, error) { return r.fn.Apply(rec) }
+
+func (r *renamed) FrameDelay(n int) time.Duration {
+	if fc, ok := r.fn.(core.FrameCoster); ok {
+		return fc.FrameDelay(n)
+	}
+	return 0
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/stormmongo"
+	"asterixfeeds/internal/tweetgen"
+)
+
+// StormMongoResult holds one Figures 7.11/7.12 run: instantaneous insert
+// throughput of the glued Storm+MongoDB system under the square-wave
+// arrival pattern.
+type StormMongoResult struct {
+	// Durable reports the MongoDB write concern (j:1 vs fire-and-forget).
+	Durable bool
+	// Window is the sampling bucket width.
+	Window time.Duration
+	// PersistedSeries is per-window inserted-document counts.
+	PersistedSeries []int64
+	// PersistedTotal is total documents inserted.
+	PersistedTotal int64
+	// Emitted/Failed are the topology's tuple counters.
+	Emitted, Failed int64
+}
+
+// StormMongoConfig parameterizes the glued-system comparison (§7.5).
+type StormMongoConfig struct {
+	Scale Scale
+	// LowRate/HighRate/HalfPeriod/Cycles shape the arrival square wave
+	// (same as the AsterixDB policy runs, for comparability).
+	LowRate, HighRate int
+	HalfPeriod        time.Duration
+	Cycles            int
+	// Workers is the per-bolt parallelism.
+	Workers int
+	// CommitInterval is MongoDB's journal group-commit period.
+	CommitInterval time.Duration
+	// TempDir hosts the journal file.
+	TempDir string
+}
+
+// DefaultStormMongoConfig mirrors DefaultFig7Config's wave.
+func DefaultStormMongoConfig(s Scale, tempDir string) StormMongoConfig {
+	return StormMongoConfig{
+		Scale:          s,
+		LowRate:        1200,
+		HighRate:       6000,
+		HalfPeriod:     s.RunFor / 2,
+		Cycles:         2,
+		Workers:        2,
+		CommitInterval: 25 * time.Millisecond,
+		TempDir:        tempDir,
+	}
+}
+
+// StormMongo reproduces Figure 7.11 (durable=true) and Figure 7.12
+// (durable=false): the same tweet workload flows through a Storm topology
+// (spout -> hashtag bolt -> MongoDB-insert bolt) into the simulated
+// document store. With durable writes every insert blocks on the journal's
+// group commit behind a global write lock, capping throughput well below
+// the offered rate; without durability the store follows the wave at the
+// risk of data loss.
+func StormMongo(cfg StormMongoConfig, durable bool) (*StormMongoResult, error) {
+	journal := ""
+	if durable {
+		journal = filepath.Join(cfg.TempDir, "mongo-journal")
+	}
+	mongo, err := stormmongo.OpenMongo(stormmongo.MongoConfig{
+		JournalPath:    journal,
+		CommitInterval: cfg.CommitInterval,
+	}, cfg.Scale.Window)
+	if err != nil {
+		return nil, err
+	}
+	defer mongo.Close()
+
+	// The spout is fed by a paced generator goroutine (TweetGen pushing at
+	// the wave's rate into a bounded buffer, as a socket would deliver).
+	pattern := tweetgen.SquareWavePattern(cfg.LowRate, cfg.HighRate, cfg.HalfPeriod, cfg.Cycles)
+	buf := make(chan *adm.Record, 4096)
+	var genWG sync.WaitGroup
+	genWG.Add(1)
+	go func() {
+		defer genWG.Done()
+		defer close(buf)
+		gen := tweetgen.NewGenerator(23, 0)
+		gen.Emit(pattern, func(rec *adm.Record) error { //nolint:errcheck
+			select {
+			case buf <- rec:
+			default:
+				// Receiver saturated: the push-based source does not
+				// wait (records are lost at the transport).
+			}
+			return nil
+		}, nil)
+	}()
+	spout := stormmongo.NewGeneratorSpout(func() (*adm.Record, bool) {
+		rec, ok := <-buf
+		return rec, ok
+	})
+
+	hashtags := stormmongo.BoltFunc(func(tp *stormmongo.Tuple, emit func(*stormmongo.Tuple)) error {
+		text, _ := tp.Rec.Field("message_text")
+		s, _ := adm.AsString(text)
+		var topics []adm.Value
+		for _, tok := range strings.Fields(s) {
+			if strings.HasPrefix(tok, "#") {
+				topics = append(topics, adm.String(tok))
+			}
+		}
+		emit(&stormmongo.Tuple{ID: tp.ID, Rec: tp.Rec.WithField("topics", &adm.OrderedList{Items: topics})})
+		return nil
+	})
+	insert := stormmongo.BoltFunc(func(tp *stormmongo.Tuple, emit func(*stormmongo.Tuple)) error {
+		id, ok := stormmongo.DocID(tp.Rec)
+		if !ok {
+			return fmt.Errorf("tuple without id")
+		}
+		return mongo.Insert(id, adm.Encode(tp.Rec), durable)
+	})
+
+	topo := stormmongo.NewTopology(stormmongo.TopologyConfig{
+		WorkersPerBolt: cfg.Workers,
+		AckTimeout:     2 * time.Second,
+	}, spout, hashtags, insert)
+	topo.Start()
+	genWG.Wait()
+	// Measure at the end of the arrival wave: the comparison is about
+	// keeping pace with the offered load, not about eventually draining a
+	// backlog (a backlog the push-based source would have overflowed).
+	persistedAtWaveEnd := mongo.Inserted.Total()
+	series := mongo.Inserted.Series()
+	topo.Stop()
+
+	emitted, _, failed := topo.Stats()
+	return &StormMongoResult{
+		Durable:         durable,
+		Window:          cfg.Scale.Window,
+		PersistedSeries: series,
+		PersistedTotal:  persistedAtWaveEnd,
+		Emitted:         emitted,
+		Failed:          failed,
+	}, nil
+}

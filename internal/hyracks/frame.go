@@ -1,0 +1,109 @@
+// Package hyracks implements a partitioned-parallel dataflow execution
+// engine modeled on Hyracks, the runtime layer of AsterixDB.
+//
+// A Hyracks cluster has one Cluster Controller and a set of Node Controllers
+// that heartbeat their liveness. Clients submit jobs: DAGs of operator
+// descriptors joined by connector descriptors. At activation every operator
+// is cloned into one task per partition, subject to its count or location
+// constraints, and frames of serialized records flow between tasks through
+// bounded queues, which exert natural back-pressure.
+//
+// The cluster in this repository is simulated in-process: every node is an
+// isolated set of goroutines and queues, and hard failures are injected by
+// killing a node, which halts its tasks, drops its queues, and stops its
+// heartbeats — exercising the same detection and recovery paths a physical
+// deployment would.
+package hyracks
+
+// Frame is the unit of data exchange between operator tasks: a batch of
+// serialized ADM records. Frames are never mutated after being handed to a
+// Writer; operators that need to modify records build new frames.
+type Frame struct {
+	// Records holds one serialized record per entry.
+	Records [][]byte
+}
+
+// NewFrame returns a frame pre-sized for n records.
+func NewFrame(n int) *Frame {
+	return &Frame{Records: make([][]byte, 0, n)}
+}
+
+// Append adds a serialized record to the frame.
+func (f *Frame) Append(rec []byte) { f.Records = append(f.Records, rec) }
+
+// Len reports the number of records in the frame.
+func (f *Frame) Len() int { return len(f.Records) }
+
+// Bytes reports the total payload size of the frame in bytes.
+func (f *Frame) Bytes() int {
+	n := 0
+	for _, r := range f.Records {
+		n += len(r)
+	}
+	return n
+}
+
+// Slice returns a new frame over records [lo, hi) of f. The record byte
+// slices are shared, not copied.
+func (f *Frame) Slice(lo, hi int) *Frame {
+	return &Frame{Records: f.Records[lo:hi]}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	out := NewFrame(f.Len())
+	for _, r := range f.Records {
+		cp := make([]byte, len(r))
+		copy(cp, r)
+		out.Append(cp)
+	}
+	return out
+}
+
+// Writer is the push-based dataflow interface between operator tasks,
+// mirroring Hyracks' IFrameWriter. A producer calls Open once, NextFrame any
+// number of times, and then exactly one of Close (graceful end of stream) or
+// Fail (abnormal termination).
+type Writer interface {
+	// Open prepares the writer to receive frames.
+	Open() error
+	// NextFrame delivers one frame downstream. It may block to exert
+	// back-pressure.
+	NextFrame(f *Frame) error
+	// Close signals a graceful end of the stream.
+	Close() error
+	// Fail signals abnormal termination of the stream.
+	Fail(err error)
+}
+
+// NopWriter is a Writer that discards everything; Hyracks' NullSink operator
+// wraps it.
+type NopWriter struct{}
+
+// Open implements Writer.
+func (NopWriter) Open() error { return nil }
+
+// NextFrame implements Writer.
+func (NopWriter) NextFrame(*Frame) error { return nil }
+
+// Close implements Writer.
+func (NopWriter) Close() error { return nil }
+
+// Fail implements Writer.
+func (NopWriter) Fail(error) {}
+
+// FuncWriter adapts a function to the Writer interface; open/close/fail are
+// no-ops. Useful in tests and leaf sinks.
+type FuncWriter func(*Frame) error
+
+// Open implements Writer.
+func (FuncWriter) Open() error { return nil }
+
+// NextFrame implements Writer.
+func (fw FuncWriter) NextFrame(f *Frame) error { return fw(f) }
+
+// Close implements Writer.
+func (FuncWriter) Close() error { return nil }
+
+// Fail implements Writer.
+func (FuncWriter) Fail(error) {}

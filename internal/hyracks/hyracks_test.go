@@ -1,0 +1,728 @@
+package hyracks
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  30 * time.Millisecond,
+		QueueDepth:        4,
+		FrameCapacity:     16,
+	}
+}
+
+// genOp emits count records, each an 8-byte little-endian sequence number
+// offset by the partition index.
+type genOp struct {
+	count int
+}
+
+func (g *genOp) Name() string { return "gen" }
+
+func (g *genOp) CreateRuntime(ctx *TaskContext, out Writer) (OperatorRuntime, error) {
+	return &genRuntime{op: g, ctx: ctx, out: out}, nil
+}
+
+type genRuntime struct {
+	op  *genOp
+	ctx *TaskContext
+	out Writer
+}
+
+func (r *genRuntime) Open() error            { return r.out.Open() }
+func (r *genRuntime) NextFrame(*Frame) error { return errors.New("gen is a source") }
+func (r *genRuntime) Close() error           { return r.out.Close() }
+func (r *genRuntime) Fail(err error)         { r.out.Fail(err) }
+
+func (r *genRuntime) Run() error {
+	defer r.out.Close()
+	f := NewFrame(8)
+	for i := 0; i < r.op.count; i++ {
+		select {
+		case <-r.ctx.Canceled:
+			return nil
+		default:
+		}
+		rec := make([]byte, 8)
+		binary.LittleEndian.PutUint64(rec, uint64(i*r.ctx.NumPartitions+r.ctx.Partition))
+		f.Append(rec)
+		if f.Len() == 8 {
+			if err := r.out.NextFrame(f); err != nil {
+				return err
+			}
+			f = NewFrame(8)
+		}
+	}
+	if f.Len() > 0 {
+		return r.out.NextFrame(f)
+	}
+	return nil
+}
+
+// collectOp gathers every record it sees into a shared sink.
+type collectOp struct {
+	mu   sync.Mutex
+	recs map[string][]uint64 // per node
+}
+
+func newCollectOp() *collectOp { return &collectOp{recs: make(map[string][]uint64)} }
+
+func (c *collectOp) Name() string { return "collect" }
+
+func (c *collectOp) CreateRuntime(ctx *TaskContext, out Writer) (OperatorRuntime, error) {
+	return &collectRuntime{op: c, ctx: ctx, out: out}, nil
+}
+
+func (c *collectOp) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, rs := range c.recs {
+		n += len(rs)
+	}
+	return n
+}
+
+func (c *collectOp) all() map[uint64]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]int)
+	for _, rs := range c.recs {
+		for _, r := range rs {
+			out[r]++
+		}
+	}
+	return out
+}
+
+type collectRuntime struct {
+	op  *collectOp
+	ctx *TaskContext
+	out Writer
+}
+
+func (r *collectRuntime) Open() error { return r.out.Open() }
+
+func (r *collectRuntime) NextFrame(f *Frame) error {
+	r.op.mu.Lock()
+	for _, rec := range f.Records {
+		r.op.recs[r.ctx.NodeID] = append(r.op.recs[r.ctx.NodeID], binary.LittleEndian.Uint64(rec))
+	}
+	r.op.mu.Unlock()
+	return r.out.NextFrame(f)
+}
+
+func (r *collectRuntime) Close() error   { return r.out.Close() }
+func (r *collectRuntime) Fail(err error) { r.out.Fail(err) }
+
+// failOp returns an error on the nth record it sees.
+type failOp struct {
+	failAt int64
+	seen   atomic.Int64
+}
+
+func (f *failOp) Name() string { return "failer" }
+
+func (f *failOp) CreateRuntime(ctx *TaskContext, out Writer) (OperatorRuntime, error) {
+	return &failRuntime{op: f, out: out}, nil
+}
+
+type failRuntime struct {
+	op  *failOp
+	out Writer
+}
+
+func (r *failRuntime) Open() error { return r.out.Open() }
+
+func (r *failRuntime) NextFrame(f *Frame) error {
+	for range f.Records {
+		if r.op.seen.Add(1) >= r.op.failAt {
+			return errors.New("synthetic operator failure")
+		}
+	}
+	return r.out.NextFrame(f)
+}
+
+func (r *failRuntime) Close() error   { return r.out.Close() }
+func (r *failRuntime) Fail(err error) { r.out.Fail(err) }
+
+func leUint64Hash(rec []byte) uint64 { return binary.LittleEndian.Uint64(rec) }
+
+func TestSimpleJobOneToOne(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B")
+	defer c.Close()
+
+	spec := &JobSpec{Name: "simple"}
+	sink := newCollectOp()
+	gen := spec.AddOperator(&genOp{count: 100}, LocationConstraint("A", "B"))
+	col := spec.AddOperator(sink, LocationConstraint("A", "B"))
+	spec.Connect(gen, col, OneToOne, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := sink.total(); got != 200 {
+		t.Fatalf("collected %d records, want 200", got)
+	}
+	seen := sink.all()
+	for i := 0; i < 200; i++ {
+		if seen[uint64(i)] != 1 {
+			t.Fatalf("record %d seen %d times", i, seen[uint64(i)])
+		}
+	}
+	if j.Status() != JobFinished {
+		t.Fatalf("status = %v, want finished", j.Status())
+	}
+}
+
+func TestHashPartitionRoutesByKey(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B", "C")
+	defer c.Close()
+
+	spec := &JobSpec{Name: "hash"}
+	sink := newCollectOp()
+	gen := spec.AddOperator(&genOp{count: 300}, CountConstraint(1))
+	col := spec.AddOperator(sink, LocationConstraint("A", "B", "C"))
+	spec.Connect(gen, col, MToNHashPartition, leUint64Hash)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.total() != 300 {
+		t.Fatalf("collected %d, want 300", sink.total())
+	}
+	// Every record with the same key must land on the same node; since
+	// keys are unique here we instead check distribution across >1 node.
+	sink.mu.Lock()
+	nodes := len(sink.recs)
+	sink.mu.Unlock()
+	if nodes < 2 {
+		t.Fatalf("hash partitioning used %d nodes, want >= 2", nodes)
+	}
+}
+
+func TestRandomPartitionBalances(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B")
+	defer c.Close()
+
+	spec := &JobSpec{Name: "rand"}
+	sink := newCollectOp()
+	gen := spec.AddOperator(&genOp{count: 160}, CountConstraint(1))
+	col := spec.AddOperator(sink, LocationConstraint("A", "B"))
+	spec.Connect(gen, col, MToNRandomPartition, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.recs["A"]) == 0 || len(sink.recs["B"]) == 0 {
+		t.Fatalf("round robin left a consumer idle: A=%d B=%d", len(sink.recs["A"]), len(sink.recs["B"]))
+	}
+}
+
+func TestReplicateDeliversToAll(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B")
+	defer c.Close()
+
+	spec := &JobSpec{Name: "repl"}
+	sink := newCollectOp()
+	gen := spec.AddOperator(&genOp{count: 50}, CountConstraint(1))
+	col := spec.AddOperator(sink, LocationConstraint("A", "B"))
+	spec.Connect(gen, col, MToNReplicate, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.total() != 100 {
+		t.Fatalf("replicate delivered %d, want 100", sink.total())
+	}
+}
+
+func TestOperatorErrorFailsJob(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+
+	spec := &JobSpec{Name: "failing"}
+	gen := spec.AddOperator(&genOp{count: 1000}, CountConstraint(1))
+	fl := spec.AddOperator(&failOp{failAt: 10}, CountConstraint(1))
+	sink := spec.AddOperator(newCollectOp(), CountConstraint(1))
+	spec.Connect(gen, fl, OneToOne, nil)
+	spec.Connect(fl, sink, OneToOne, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = j.Wait()
+	if err == nil {
+		t.Fatal("job with failing operator completed, want error")
+	}
+	if j.Status() != JobFailed {
+		t.Fatalf("status = %v, want failed", j.Status())
+	}
+}
+
+func TestNodeDeathFailsJobAndFiresClusterEvent(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B")
+	defer c.Close()
+
+	deadCh := make(chan string, 4)
+	cancel := c.SubscribeCluster(func(ev ClusterEvent) {
+		if ev.Kind == NodeDead {
+			deadCh <- ev.NodeID
+		}
+	})
+	defer cancel()
+
+	// A source that runs until canceled.
+	spec := &JobSpec{Name: "longrun"}
+	gen := spec.AddOperator(&infiniteOp{}, LocationConstraint("B"))
+	sink := spec.AddOperator(newCollectOp(), LocationConstraint("B"))
+	spec.Connect(gen, sink, OneToOne, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := c.KillNode("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err == nil {
+		t.Fatal("job survived node death, want failure")
+	}
+	select {
+	case id := <-deadCh:
+		if id != "B" {
+			t.Fatalf("dead node = %q, want B", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no NodeDead cluster event after kill")
+	}
+	alive := c.AliveNodes()
+	if len(alive) != 1 || alive[0] != "A" {
+		t.Fatalf("AliveNodes = %v, want [A]", alive)
+	}
+}
+
+// infiniteOp emits frames until canceled.
+type infiniteOp struct{}
+
+func (i *infiniteOp) Name() string { return "infinite" }
+
+func (i *infiniteOp) CreateRuntime(ctx *TaskContext, out Writer) (OperatorRuntime, error) {
+	return &infiniteRuntime{ctx: ctx, out: out}, nil
+}
+
+type infiniteRuntime struct {
+	ctx *TaskContext
+	out Writer
+}
+
+func (r *infiniteRuntime) Open() error            { return r.out.Open() }
+func (r *infiniteRuntime) NextFrame(*Frame) error { return errors.New("source") }
+func (r *infiniteRuntime) Close() error           { return r.out.Close() }
+func (r *infiniteRuntime) Fail(err error)         { r.out.Fail(err) }
+
+func (r *infiniteRuntime) Run() error {
+	defer r.out.Close()
+	rec := make([]byte, 8)
+	for seq := uint64(0); ; seq++ {
+		select {
+		case <-r.ctx.Canceled:
+			return nil
+		default:
+		}
+		binary.LittleEndian.PutUint64(rec, seq)
+		f := NewFrame(1)
+		f.Append(append([]byte(nil), rec...))
+		if err := r.out.NextFrame(f); err != nil {
+			return nil
+		}
+	}
+}
+
+func TestCancelStopsLongRunningJob(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+
+	spec := &JobSpec{Name: "cancelme"}
+	gen := spec.AddOperator(&infiniteOp{}, CountConstraint(1))
+	sink := spec.AddOperator(newCollectOp(), CountConstraint(1))
+	spec.Connect(gen, sink, OneToOne, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	j.Cancel()
+	if err := j.Wait(); !errors.Is(err, ErrJobCanceled) {
+		t.Fatalf("Wait after cancel = %v, want ErrJobCanceled", err)
+	}
+	if j.Status() != JobCanceled {
+		t.Fatalf("status = %v, want canceled", j.Status())
+	}
+}
+
+func TestJobEvents(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+
+	var mu sync.Mutex
+	var events []JobEventKind
+	cancel := c.SubscribeJobs(func(ev JobEvent) {
+		mu.Lock()
+		events = append(events, ev.Kind)
+		mu.Unlock()
+	})
+	defer cancel()
+
+	spec := &JobSpec{Name: "events"}
+	gen := spec.AddOperator(&genOp{count: 10}, CountConstraint(1))
+	sink := spec.AddOperator(newCollectOp(), CountConstraint(1))
+	spec.Connect(gen, sink, OneToOne, nil)
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Allow the completion event goroutine to fire.
+	deadline := time.After(time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("events = %v, want [started completed]", events)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events[0] != EventJobStarted || events[1] != EventJobCompleted {
+		t.Fatalf("events = %v, want [EventJobStarted EventJobCompleted]", events)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	empty := &JobSpec{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty spec validated")
+	}
+
+	selfLoop := &JobSpec{Name: "loop"}
+	op := selfLoop.AddOperator(&genOp{}, CountConstraint(1))
+	selfLoop.Connect(op, op, OneToOne, nil)
+	if err := selfLoop.Validate(); err == nil {
+		t.Error("self loop validated")
+	}
+
+	noHash := &JobSpec{Name: "nohash"}
+	a := noHash.AddOperator(&genOp{}, CountConstraint(1))
+	b := noHash.AddOperator(newCollectOp(), CountConstraint(1))
+	noHash.Connect(a, b, MToNHashPartition, nil)
+	if err := noHash.Validate(); err == nil {
+		t.Error("hash connector without KeyHash validated")
+	}
+}
+
+func TestPinToDeadNodeIsRejected(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B")
+	defer c.Close()
+	if err := c.KillNode("B"); err != nil {
+		t.Fatal(err)
+	}
+	spec := &JobSpec{Name: "pinned"}
+	spec.AddOperator(&genOp{count: 1}, LocationConstraint("B"))
+	if _, err := c.StartJob(spec); err == nil {
+		t.Fatal("job pinned to dead node started")
+	}
+}
+
+func TestCountConstraintSpreadsOverNodes(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B", "C")
+	defer c.Close()
+	spec := &JobSpec{Name: "count"}
+	sink := newCollectOp()
+	gen := spec.AddOperator(&genOp{count: 30}, CountConstraint(3))
+	col := spec.AddOperator(sink, CountConstraint(3))
+	spec.Connect(gen, col, OneToOne, nil)
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := j.Placement()
+	if len(pl) != 2 {
+		t.Fatalf("placement entries = %d, want 2", len(pl))
+	}
+	seen := map[string]bool{}
+	for _, loc := range pl[0].Locations {
+		seen[loc] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("count constraint placed on %d distinct nodes, want 3: %v", len(seen), pl[0].Locations)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultConstraintUsesAllNodes(t *testing.T) {
+	c := NewCluster(testConfig(), "A", "B", "C", "D")
+	defer c.Close()
+	spec := &JobSpec{Name: "default"}
+	sink := newCollectOp()
+	gen := spec.AddOperator(&genOp{count: 10}, PartitionConstraint{})
+	col := spec.AddOperator(sink, PartitionConstraint{})
+	spec.Connect(gen, col, OneToOne, nil)
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.Placement()[0].Locations); got != 4 {
+		t.Fatalf("default constraint parallelism = %d, want 4", got)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.total() != 40 {
+		t.Fatalf("collected %d, want 40", sink.total())
+	}
+}
+
+func TestAddNodeDuplicate(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+	if _, err := c.AddNode("A"); err == nil {
+		t.Fatal("duplicate AddNode succeeded")
+	}
+	if _, err := c.AddNode("E"); err != nil {
+		t.Fatalf("AddNode(E): %v", err)
+	}
+	if len(c.AllNodes()) != 2 {
+		t.Fatalf("AllNodes = %v", c.AllNodes())
+	}
+}
+
+func TestServicesRegistry(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+	n := c.Node("A")
+	n.SetService("x", 42)
+	if got := n.Service("x"); got != 42 {
+		t.Fatalf("Service(x) = %v", got)
+	}
+	if got := n.Service("missing"); got != nil {
+		t.Fatalf("Service(missing) = %v, want nil", got)
+	}
+}
+
+func TestFrameHelpers(t *testing.T) {
+	f := NewFrame(4)
+	f.Append([]byte{1, 2})
+	f.Append([]byte{3})
+	if f.Len() != 2 || f.Bytes() != 3 {
+		t.Fatalf("Len/Bytes = %d/%d", f.Len(), f.Bytes())
+	}
+	cl := f.Clone()
+	cl.Records[0][0] = 9
+	if f.Records[0][0] != 1 {
+		t.Fatal("Clone shares record storage")
+	}
+	sl := f.Slice(1, 2)
+	if sl.Len() != 1 || sl.Records[0][0] != 3 {
+		t.Fatalf("Slice = %v", sl.Records)
+	}
+}
+
+func TestBackPressureDoesNotDeadlock(t *testing.T) {
+	// A slow consumer with a tiny queue must not deadlock the producer.
+	cfg := testConfig()
+	cfg.QueueDepth = 1
+	c := NewCluster(cfg, "A")
+	defer c.Close()
+
+	slow := &slowSink{delay: 100 * time.Microsecond}
+	spec := &JobSpec{Name: "bp"}
+	gen := spec.AddOperator(&genOp{count: 200}, CountConstraint(1))
+	snk := spec.AddOperator(slow, CountConstraint(1))
+	spec.Connect(gen, snk, OneToOne, nil)
+
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- j.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("back-pressure deadlock")
+	}
+	if slow.count.Load() != 200 {
+		t.Fatalf("slow sink saw %d records, want 200", slow.count.Load())
+	}
+}
+
+type slowSink struct {
+	delay time.Duration
+	count atomic.Int64
+}
+
+func (s *slowSink) Name() string { return "slowsink" }
+
+func (s *slowSink) CreateRuntime(ctx *TaskContext, out Writer) (OperatorRuntime, error) {
+	return &slowSinkRuntime{op: s, out: out}, nil
+}
+
+type slowSinkRuntime struct {
+	op  *slowSink
+	out Writer
+}
+
+func (r *slowSinkRuntime) Open() error { return r.out.Open() }
+
+func (r *slowSinkRuntime) NextFrame(f *Frame) error {
+	time.Sleep(r.op.delay)
+	r.op.count.Add(int64(f.Len()))
+	return r.out.NextFrame(f)
+}
+
+func (r *slowSinkRuntime) Close() error   { return r.out.Close() }
+func (r *slowSinkRuntime) Fail(err error) { r.out.Fail(err) }
+
+func TestClusterCloseCancelsJobs(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	spec := &JobSpec{Name: "closeme"}
+	gen := spec.AddOperator(&infiniteOp{}, CountConstraint(1))
+	sink := spec.AddOperator(newCollectOp(), CountConstraint(1))
+	spec.Connect(gen, sink, OneToOne, nil)
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { c.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	if j.Status() == JobRunning {
+		t.Fatal("job still running after cluster close")
+	}
+	if _, err := c.StartJob(spec); err == nil {
+		t.Fatal("StartJob succeeded on closed cluster")
+	}
+}
+
+func TestJobStatusStrings(t *testing.T) {
+	for st, want := range map[JobStatus]string{
+		JobPending: "pending", JobRunning: "running", JobFinished: "finished",
+		JobFailed: "failed", JobCanceled: "canceled",
+	} {
+		if st.String() != want {
+			t.Errorf("JobStatus(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func BenchmarkOneToOnePipeline(b *testing.B) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := &JobSpec{Name: fmt.Sprintf("bench-%d", i)}
+		gen := spec.AddOperator(&genOp{count: 1000}, CountConstraint(1))
+		sink := spec.AddOperator(newCollectOp(), CountConstraint(1))
+		spec.Connect(gen, sink, OneToOne, nil)
+		j, err := c.StartJob(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestScheduleDelayAppliesPerJob(t *testing.T) {
+	cfg := testConfig()
+	cfg.ScheduleDelay = 30 * time.Millisecond
+	c := NewCluster(cfg, "A")
+	defer c.Close()
+	spec := &JobSpec{Name: "delayed"}
+	gen := spec.AddOperator(&genOp{count: 1}, CountConstraint(1))
+	sink := spec.AddOperator(newCollectOp(), CountConstraint(1))
+	spec.Connect(gen, sink, OneToOne, nil)
+
+	start := time.Now()
+	j, err := c.StartJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < cfg.ScheduleDelay {
+		t.Fatalf("StartJob returned in %v, want >= %v (simulated planning latency)", elapsed, cfg.ScheduleDelay)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeJoinEventFires(t *testing.T) {
+	c := NewCluster(testConfig(), "A")
+	defer c.Close()
+	joined := make(chan string, 1)
+	cancel := c.SubscribeCluster(func(ev ClusterEvent) {
+		if ev.Kind == NodeJoined {
+			joined <- ev.NodeID
+		}
+	})
+	defer cancel()
+	if _, err := c.AddNode("B"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-joined:
+		if id != "B" {
+			t.Fatalf("joined node = %q", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no NodeJoined event")
+	}
+}

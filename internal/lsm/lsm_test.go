@@ -1,0 +1,476 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTest(t *testing.T, opt Options) *Tree {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	tr, err := Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestPutGet(t *testing.T) {
+	tr := openTest(t, Options{})
+	if err := tr.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := tr.Get([]byte("absent")); ok {
+		t.Fatal("Get(absent) reported present")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := openTest(t, Options{})
+	tr.Put([]byte("k"), []byte("old"))
+	tr.Put([]byte("k"), []byte("new"))
+	v, ok, _ := tr.Get([]byte("k"))
+	if !ok || string(v) != "new" {
+		t.Fatalf("Get after overwrite = %q, %v", v, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := openTest(t, Options{})
+	tr.Put([]byte("k"), []byte("v"))
+	tr.Delete([]byte("k"))
+	if _, ok, _ := tr.Get([]byte("k")); ok {
+		t.Fatal("Get after delete reported present")
+	}
+}
+
+func TestDeleteSurvivesFlush(t *testing.T) {
+	tr := openTest(t, Options{})
+	tr.Put([]byte("k"), []byte("v"))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Delete([]byte("k"))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tr.Get([]byte("k")); ok {
+		t.Fatal("deleted key resurfaced from older run")
+	}
+}
+
+func TestFlushAndReadBack(t *testing.T) {
+	tr := openTest(t, Options{})
+	for i := 0; i < 500; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Runs != 1 || st.MemtableEntries != 0 {
+		t.Fatalf("stats after flush = %+v", st)
+	}
+	for i := 0; i < 500; i += 37 {
+		v, ok, err := tr.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(key-%04d) = %q, %v, %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestAutoFlushOnThreshold(t *testing.T) {
+	tr := openTest(t, Options{MemtableBytes: 2048})
+	for i := 0; i < 200; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%04d", i)), bytes.Repeat([]byte{'x'}, 64))
+	}
+	if tr.Stats().Flushes == 0 {
+		t.Fatal("no automatic flush despite exceeding threshold")
+	}
+}
+
+func TestTieredMerge(t *testing.T) {
+	tr := openTest(t, Options{MaxRuns: 2})
+	for batch := 0; batch < 5; batch++ {
+		for i := 0; i < 50; i++ {
+			tr.Put([]byte(fmt.Sprintf("k-%d-%d", batch, i)), []byte("v"))
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.Merges == 0 {
+		t.Fatal("no merge despite exceeding MaxRuns")
+	}
+	if st.Runs > 2 {
+		t.Fatalf("runs after merge = %d, want <= 2", st.Runs)
+	}
+	n, err := tr.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 250 {
+		t.Fatalf("Len after merges = %d, want 250", n)
+	}
+}
+
+func TestMergeDropsTombstones(t *testing.T) {
+	tr := openTest(t, Options{})
+	tr.Put([]byte("a"), []byte("1"))
+	tr.Flush()
+	tr.Delete([]byte("a"))
+	tr.Flush()
+	if err := tr.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.RunEntries != 0 {
+		t.Fatalf("entries after merge = %d, want 0 (tombstone dropped)", st.RunEntries)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := openTest(t, Options{})
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+	}
+	tr.Flush()
+	for i := 100; i < 200; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+	}
+	var keys []string
+	err := tr.Scan([]byte("k050"), []byte("k150"), func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 100 {
+		t.Fatalf("scan returned %d keys, want 100", len(keys))
+	}
+	if keys[0] != "k050" || keys[99] != "k149" {
+		t.Fatalf("scan bounds: first=%s last=%s", keys[0], keys[99])
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("scan out of order at %d: %s <= %s", i, keys[i], keys[i-1])
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := openTest(t, Options{})
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%02d", i)), nil)
+	}
+	n := 0
+	tr.Scan(nil, nil, func(k, v []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop scanned %d, want 10", n)
+	}
+}
+
+func TestScanSeesNewestVersion(t *testing.T) {
+	tr := openTest(t, Options{})
+	tr.Put([]byte("k"), []byte("v1"))
+	tr.Flush()
+	tr.Put([]byte("k"), []byte("v2"))
+	tr.Flush()
+	tr.Put([]byte("k"), []byte("v3")) // in memtable
+	var got string
+	tr.Scan(nil, nil, func(k, v []byte) bool { got = string(v); return true })
+	if got != "v3" {
+		t.Fatalf("scan returned version %q, want v3", got)
+	}
+	n, _ := tr.Len()
+	if n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	tr.Delete([]byte("k050"))
+	// Simulate a crash: close file handles without flushing the memtable.
+	tr.mu.Lock()
+	tr.wal.w.Flush()
+	tr.wal.f.Close()
+	tr.mu.Unlock()
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	v, ok, _ := re.Get([]byte("k099"))
+	if !ok || string(v) != "v99" {
+		t.Fatalf("recovered Get(k099) = %q, %v", v, ok)
+	}
+	if _, ok, _ := re.Get([]byte("k050")); ok {
+		t.Fatal("recovered tree resurrected deleted key")
+	}
+	n, _ := re.Len()
+	if n != 99 {
+		t.Fatalf("recovered Len = %d, want 99", n)
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	tr, _ := Open(Options{Dir: dir})
+	tr.Put([]byte("good"), []byte("1"))
+	tr.mu.Lock()
+	tr.wal.w.Flush()
+	// Append garbage simulating a torn write.
+	tr.wal.f.Write([]byte{0xde, 0xad, 0xbe})
+	tr.wal.f.Close()
+	tr.mu.Unlock()
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.Get([]byte("good")); !ok {
+		t.Fatal("valid record before torn tail lost")
+	}
+}
+
+func TestRunsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	tr, _ := Open(Options{Dir: dir})
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	tr.Flush()
+	tr.Close()
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	n, _ := re.Len()
+	if n != 100 {
+		t.Fatalf("reopened Len = %d, want 100", n)
+	}
+}
+
+func TestClosedTreeRejectsOps(t *testing.T) {
+	tr := openTest(t, Options{})
+	tr.Close()
+	if err := tr.Put([]byte("k"), nil); err == nil {
+		t.Fatal("Put on closed tree succeeded")
+	}
+	if _, _, err := tr.Get([]byte("k")); err == nil {
+		t.Fatal("Get on closed tree succeeded")
+	}
+	if err := tr.Scan(nil, nil, nil); err == nil {
+		t.Fatal("Scan on closed tree succeeded")
+	}
+}
+
+func TestPropertyModelCheck(t *testing.T) {
+	// Random Put/Delete/Flush/Merge sequences must agree with a map model.
+	f := func(seed int64) bool {
+		dir := t.TempDir()
+		tr, err := Open(Options{Dir: dir, MemtableBytes: 1 << 10, MaxRuns: 2})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		model := map[string]string{}
+		r := rand.New(rand.NewSource(seed))
+		for op := 0; op < 300; op++ {
+			key := fmt.Sprintf("k%02d", r.Intn(40))
+			switch r.Intn(10) {
+			case 0:
+				tr.Delete([]byte(key))
+				delete(model, key)
+			case 1:
+				if err := tr.Flush(); err != nil {
+					return false
+				}
+			default:
+				val := fmt.Sprintf("v%d", r.Intn(1000))
+				tr.Put([]byte(key), []byte(val))
+				model[key] = val
+			}
+		}
+		// Verify point reads.
+		for k, want := range model {
+			v, ok, err := tr.Get([]byte(k))
+			if err != nil || !ok || string(v) != want {
+				t.Logf("Get(%s) = %q,%v,%v want %q", k, v, ok, err, want)
+				return false
+			}
+		}
+		// Verify full scan matches the model exactly.
+		seen := map[string]string{}
+		err = tr.Scan(nil, nil, func(k, v []byte) bool {
+			seen[string(k)] = string(v)
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		if len(seen) != len(model) {
+			t.Logf("scan size %d, model size %d", len(seen), len(model))
+			return false
+		}
+		for k, v := range model {
+			if seen[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	b := newBloomFilter(1000)
+	for i := 0; i < 1000; i++ {
+		b.add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if b.mayContain([]byte(fmt.Sprintf("other-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Fatalf("false positive rate %d/1000, want < 10%%", fp)
+	}
+	// Marshal round trip.
+	b2 := unmarshalBloom(b.marshal())
+	if b2 == nil || !b2.mayContain([]byte("key-1")) {
+		t.Fatal("marshal round trip lost membership")
+	}
+}
+
+func TestRunOpenRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-000001.lsm")
+	if err := writeFile(path, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openRun(path); err == nil {
+		t.Fatal("openRun accepted corrupt file")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr, err := Open(Options{Dir: b.TempDir(), MemtableBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	key := make([]byte, 16)
+	val := bytes.Repeat([]byte{'v'}, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(key, fmt.Sprintf("key-%012d", i))
+		if err := tr.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetFromRuns(b *testing.B) {
+	tr, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 10000; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%06d", i)), []byte("value"))
+	}
+	tr.Flush()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i%10000))
+		if _, ok, err := tr.Get(k); err != nil || !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkGetWithBloom and BenchmarkGetWithoutBloom ablate the per-run
+// bloom filters on point lookups that miss every run.
+func BenchmarkGetMissWithBloom(b *testing.B) {
+	benchGetMiss(b, true)
+}
+
+func BenchmarkGetMissWithoutBloom(b *testing.B) {
+	benchGetMiss(b, false)
+}
+
+func benchGetMiss(b *testing.B, bloom bool) {
+	tr, err := Open(Options{Dir: b.TempDir(), MaxRuns: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	for run := 0; run < 8; run++ {
+		for i := 0; i < 2000; i++ {
+			tr.Put([]byte(fmt.Sprintf("run%d-key%05d", run, i)), []byte("v"))
+		}
+		if err := tr.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !bloom {
+		// Defeat the filters: replace each with an always-true filter.
+		tr.mu.Lock()
+		for _, r := range tr.runs {
+			for i := range r.bloom.bits {
+				r.bloom.bits[i] = ^uint64(0)
+			}
+		}
+		tr.mu.Unlock()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.Get([]byte(fmt.Sprintf("absent-%09d", i))); err != nil || ok {
+			b.Fatal("unexpected hit")
+		}
+	}
+}

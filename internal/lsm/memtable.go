@@ -1,0 +1,156 @@
+// Package lsm implements a log-structured merge tree: the storage primitive
+// AsterixDB uses for dataset partitions and their indexes. Writes land in a
+// WAL and an in-memory skiplist memtable; full memtables flush to immutable
+// sorted runs on disk, which a tiered merge policy compacts. Reads consult
+// the memtable and then runs from newest to oldest, pruned by per-run bloom
+// filters.
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxSkipHeight = 12
+
+// entry is a single versioned key/value pair; a nil value with tombstone set
+// records a delete.
+type entry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// memtable is an in-memory ordered map from []byte keys to values, backed by
+// a skiplist. It is not safe for concurrent use; the Tree serializes access.
+type memtable struct {
+	head   *skipNode
+	height int
+	rnd    *rand.Rand
+	bytes  int
+	count  int
+	mu     sync.RWMutex
+}
+
+type skipNode struct {
+	entry
+	next []*skipNode
+}
+
+func newMemtable(seed int64) *memtable {
+	return &memtable{
+		head:   &skipNode{next: make([]*skipNode, maxSkipHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (m *memtable) randomHeight() int {
+	h := 1
+	for h < maxSkipHeight && m.rnd.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// put inserts or replaces key with value (or a tombstone).
+func (m *memtable) put(key, value []byte, tombstone bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var update [maxSkipHeight]*skipNode
+	n := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, key) < 0 {
+			n = n.next[lvl]
+		}
+		update[lvl] = n
+	}
+	if nxt := n.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+		m.bytes += len(value) - len(nxt.value)
+		nxt.value = value
+		nxt.tombstone = tombstone
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for lvl := m.height; lvl < h; lvl++ {
+			update[lvl] = m.head
+		}
+		m.height = h
+	}
+	node := &skipNode{
+		entry: entry{key: key, value: value, tombstone: tombstone},
+		next:  make([]*skipNode, h),
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		node.next[lvl] = update[lvl].next[lvl]
+		update[lvl].next[lvl] = node
+	}
+	m.bytes += len(key) + len(value) + 16
+	m.count++
+}
+
+// get returns the entry for key, if present (including tombstones).
+func (m *memtable) get(key []byte) (entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, key) < 0 {
+			n = n.next[lvl]
+		}
+	}
+	if nxt := n.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+		return nxt.entry, true
+	}
+	return entry{}, false
+}
+
+// size reports the approximate byte footprint of the memtable.
+func (m *memtable) size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// len reports the number of live entries (including tombstones).
+func (m *memtable) len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// entries returns all entries in key order.
+func (m *memtable) entries() []entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]entry, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+// iter returns an iterator positioned at the first key >= from.
+func (m *memtable) iter(from []byte) *memtableIter {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, from) < 0 {
+			n = n.next[lvl]
+		}
+	}
+	return &memtableIter{node: n.next[0]}
+}
+
+// memtableIter iterates a snapshot cursor over the skiplist. The Tree only
+// mutates the memtable under its own lock while no iterators are live.
+type memtableIter struct {
+	node *skipNode
+}
+
+func (it *memtableIter) valid() bool { return it.node != nil }
+func (it *memtableIter) curr() entry { return it.node.entry }
+func (it *memtableIter) next()       { it.node = it.node.next[0] }

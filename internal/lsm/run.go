@@ -1,0 +1,245 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runMagic identifies the on-disk run format.
+var runMagic = []byte("LSMRUN01")
+
+// run is an immutable sorted component on disk. Keys (with value offsets and
+// tombstone flags) are held in memory; values are read from the file on
+// demand. A bloom filter prunes point lookups.
+type run struct {
+	path  string
+	f     *os.File
+	keys  [][]byte
+	offs  []int64
+	vlens []int32
+	tombs []bool
+	bloom *bloomFilter
+}
+
+// writeRun persists entries (which must be sorted by key, unique) as a run
+// file at path and returns the opened run.
+func writeRun(path string, entries []entry) (*run, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: creating run: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.Write(runMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloom := newBloomFilter(len(entries))
+	var scratch [2*binary.MaxVarintLen32 + 1]byte
+	for _, e := range entries {
+		bloom.add(e.key)
+		scratch[0] = 0
+		if e.tombstone {
+			scratch[0] = 1
+		}
+		n := 1
+		n += binary.PutUvarint(scratch[n:], uint64(len(e.key)))
+		n += binary.PutUvarint(scratch[n:], uint64(len(e.value)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := w.Write(e.key); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := w.Write(e.value); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	// Trailer: bloom bytes, bloom length, entry count, magic.
+	bb := bloom.marshal()
+	if _, err := w.Write(bb); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var trailer [20]byte
+	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(bb)))
+	binary.LittleEndian.PutUint64(trailer[4:], uint64(len(entries)))
+	copy(trailer[12:], runMagic)
+	if _, err := w.Write(trailer[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return openRun(path)
+}
+
+// openRun loads a run's key index and bloom filter from disk.
+func openRun(path string) (*run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: opening run: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < int64(len(runMagic))+20 {
+		f.Close()
+		return nil, fmt.Errorf("lsm: run %s too small", path)
+	}
+	var trailer [20]byte
+	if _, err := f.ReadAt(trailer[:], st.Size()-20); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !bytes.Equal(trailer[12:], runMagic) {
+		f.Close()
+		return nil, fmt.Errorf("lsm: run %s has bad trailer magic", path)
+	}
+	bloomLen := int64(binary.LittleEndian.Uint32(trailer[0:]))
+	count := binary.LittleEndian.Uint64(trailer[4:])
+	bloomOff := st.Size() - 20 - bloomLen
+	bb := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bb, bloomOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	bloom := unmarshalBloom(bb)
+	if bloom == nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: run %s has corrupt bloom filter", path)
+	}
+
+	r := &run{
+		path:  path,
+		f:     f,
+		keys:  make([][]byte, 0, count),
+		offs:  make([]int64, 0, count),
+		vlens: make([]int32, 0, count),
+		tombs: make([]bool, 0, count),
+		bloom: bloom,
+	}
+	// Scan the entry section to build the key index.
+	section := io.NewSectionReader(f, int64(len(runMagic)), bloomOff-int64(len(runMagic)))
+	br := bufio.NewReaderSize(section, 1<<16)
+	pos := int64(len(runMagic))
+	for i := uint64(0); i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("lsm: run %s truncated at entry %d", path, i)
+		}
+		pos++
+		klen, err := binary.ReadUvarint(br)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		pos += int64(uvarintLen(klen))
+		vlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		pos += int64(uvarintLen(vlen))
+		key := make([]byte, klen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			f.Close()
+			return nil, err
+		}
+		pos += int64(klen)
+		if _, err := br.Discard(int(vlen)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		r.keys = append(r.keys, key)
+		r.offs = append(r.offs, pos)
+		r.vlens = append(r.vlens, int32(vlen))
+		r.tombs = append(r.tombs, flags&1 != 0)
+		pos += int64(vlen)
+	}
+	return r, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// len reports the number of entries in the run.
+func (r *run) len() int { return len(r.keys) }
+
+// get returns the entry for key if the run contains it.
+func (r *run) get(key []byte) (entry, bool, error) {
+	if !r.bloom.mayContain(key) {
+		return entry{}, false, nil
+	}
+	i := sort.Search(len(r.keys), func(i int) bool { return bytes.Compare(r.keys[i], key) >= 0 })
+	if i >= len(r.keys) || !bytes.Equal(r.keys[i], key) {
+		return entry{}, false, nil
+	}
+	e, err := r.entryAt(i)
+	if err != nil {
+		return entry{}, false, err
+	}
+	return e, true, nil
+}
+
+func (r *run) entryAt(i int) (entry, error) {
+	val := make([]byte, r.vlens[i])
+	if _, err := r.f.ReadAt(val, r.offs[i]); err != nil {
+		return entry{}, fmt.Errorf("lsm: reading run value: %w", err)
+	}
+	return entry{key: r.keys[i], value: val, tombstone: r.tombs[i]}, nil
+}
+
+// iter returns an iterator over entries with key >= from.
+func (r *run) iter(from []byte) *runIter {
+	i := sort.Search(len(r.keys), func(i int) bool { return bytes.Compare(r.keys[i], from) >= 0 })
+	return &runIter{r: r, i: i}
+}
+
+// close releases the run's file handle.
+func (r *run) close() error { return r.f.Close() }
+
+// remove closes and deletes the run file.
+func (r *run) remove() error {
+	r.f.Close()
+	return os.Remove(r.path)
+}
+
+// runIter iterates a run in key order.
+type runIter struct {
+	r *run
+	i int
+}
+
+func (it *runIter) valid() bool { return it.i < len(it.r.keys) }
+
+func (it *runIter) curr() (entry, error) { return it.r.entryAt(it.i) }
+
+func (it *runIter) key() []byte { return it.r.keys[it.i] }
+
+func (it *runIter) next() { it.i++ }

@@ -1,0 +1,420 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options configures a Tree. The zero value is usable given a Dir.
+type Options struct {
+	// Dir is the directory holding the tree's WAL and run files.
+	Dir string
+	// MemtableBytes is the flush threshold; default 4 MiB.
+	MemtableBytes int
+	// MaxRuns triggers a full tiered merge when exceeded; default 4.
+	MaxRuns int
+	// SyncWAL groups WAL fsyncs: 0 disables syncing (fastest, used by
+	// experiments), 1 syncs every write (durable), n syncs every n writes.
+	SyncWAL int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 4
+	}
+	return o
+}
+
+// Stats reports a tree's component structure.
+type Stats struct {
+	// MemtableEntries is the number of entries in the mutable component.
+	MemtableEntries int
+	// MemtableBytes is the mutable component's approximate footprint.
+	MemtableBytes int
+	// Runs is the number of immutable disk components.
+	Runs int
+	// RunEntries is the total entry count across disk components.
+	RunEntries int
+	// Flushes and Merges count lifecycle operations since open.
+	Flushes, Merges int
+}
+
+// Tree is an LSM tree: a WAL-protected memtable over a stack of immutable
+// sorted runs with tiered merging. Safe for concurrent use.
+type Tree struct {
+	opt Options
+
+	mu      sync.RWMutex
+	mem     *memtable
+	runs    []*run // newest first
+	wal     *wal
+	seq     int
+	flushes int
+	merges  int
+	closed  bool
+}
+
+// Open opens (creating if necessary) the tree in opt.Dir, replaying any WAL
+// left by a previous incarnation.
+func Open(opt Options) (*Tree, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("lsm: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: creating dir: %w", err)
+	}
+	t := &Tree{opt: opt, mem: newMemtable(1)}
+
+	// Load existing runs, newest (highest sequence) first.
+	names, err := filepath.Glob(filepath.Join(opt.Dir, "run-*.lsm"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		r, err := openRun(name)
+		if err != nil {
+			return nil, err
+		}
+		t.runs = append(t.runs, r)
+		var seq int
+		fmt.Sscanf(filepath.Base(name), "run-%06d.lsm", &seq)
+		if seq > t.seq {
+			t.seq = seq
+		}
+	}
+
+	// Replay the WAL into the memtable, then reopen it for appending.
+	walPath := filepath.Join(opt.Dir, "wal.log")
+	err = replayWAL(walPath, func(kind walRecordKind, key, value []byte) error {
+		t.mem.put(key, value, kind == walDelete)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(walPath, opt.SyncWAL)
+	if err != nil {
+		return nil, err
+	}
+	t.wal = w
+	return t, nil
+}
+
+// Put inserts or replaces key with value.
+func (t *Tree) Put(key, value []byte) error {
+	return t.apply(walPut, key, value)
+}
+
+// Delete removes key (by writing a tombstone).
+func (t *Tree) Delete(key []byte) error {
+	return t.apply(walDelete, key, nil)
+}
+
+func (t *Tree) apply(kind walRecordKind, key, value []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("lsm: tree closed")
+	}
+	if err := t.wal.append(kind, key, value); err != nil {
+		return err
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	t.mem.put(k, v, kind == walDelete)
+	if t.mem.size() >= t.opt.MemtableBytes {
+		return t.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value for key, or ok=false if absent or deleted.
+func (t *Tree) Get(key []byte) (value []byte, ok bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return nil, false, fmt.Errorf("lsm: tree closed")
+	}
+	if e, found := t.mem.get(key); found {
+		if e.tombstone {
+			return nil, false, nil
+		}
+		return append([]byte(nil), e.value...), true, nil
+	}
+	for _, r := range t.runs {
+		e, found, err := r.get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			if e.tombstone {
+				return nil, false, nil
+			}
+			return e.value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan invokes fn for every live key in [from, to) in key order; a nil to
+// means unbounded. fn returning false stops the scan early.
+func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.closed {
+		return fmt.Errorf("lsm: tree closed")
+	}
+	it, err := t.mergedIterLocked(from)
+	if err != nil {
+		return err
+	}
+	for it.valid() {
+		e, err := it.curr()
+		if err != nil {
+			return err
+		}
+		if to != nil && bytes.Compare(e.key, to) >= 0 {
+			return nil
+		}
+		if !e.tombstone {
+			if !fn(e.key, e.value) {
+				return nil
+			}
+		}
+		if err := it.next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of live keys (scans everything; intended for tests
+// and small trees).
+func (t *Tree) Len() (int, error) {
+	n := 0
+	err := t.Scan(nil, nil, func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Flush forces the memtable to disk as a new run.
+func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("lsm: tree closed")
+	}
+	return t.flushLocked()
+}
+
+func (t *Tree) flushLocked() error {
+	if t.mem.len() == 0 {
+		return nil
+	}
+	t.seq++
+	path := filepath.Join(t.opt.Dir, fmt.Sprintf("run-%06d.lsm", t.seq))
+	r, err := writeRun(path, t.mem.entries())
+	if err != nil {
+		return err
+	}
+	t.runs = append([]*run{r}, t.runs...)
+	t.mem = newMemtable(int64(t.seq))
+	t.flushes++
+	if err := t.wal.truncate(); err != nil {
+		return err
+	}
+	if len(t.runs) > t.opt.MaxRuns {
+		return t.mergeLocked()
+	}
+	return nil
+}
+
+// Merge forces a full merge of all disk runs into one.
+func (t *Tree) Merge() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("lsm: tree closed")
+	}
+	return t.mergeLocked()
+}
+
+func (t *Tree) mergeLocked() error {
+	if len(t.runs) <= 1 {
+		return nil
+	}
+	its := make([]*runIter, len(t.runs))
+	for i, r := range t.runs {
+		its[i] = r.iter(nil)
+	}
+	var merged []entry
+	for {
+		// Pick the smallest key; among equals the newest run (lowest
+		// index) wins.
+		best := -1
+		for i, it := range its {
+			if !it.valid() {
+				continue
+			}
+			if best == -1 || bytes.Compare(it.key(), its[best].key()) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		winKey := its[best].key()
+		e, err := its[best].curr()
+		if err != nil {
+			return err
+		}
+		// Advance every iterator past winKey, discarding older versions.
+		for _, it := range its {
+			for it.valid() && bytes.Equal(it.key(), winKey) {
+				it.next()
+			}
+		}
+		// Tombstones can be dropped entirely during a full merge.
+		if !e.tombstone {
+			merged = append(merged, e)
+		}
+	}
+	t.seq++
+	path := filepath.Join(t.opt.Dir, fmt.Sprintf("run-%06d.lsm", t.seq))
+	nr, err := writeRun(path, merged)
+	if err != nil {
+		return err
+	}
+	old := t.runs
+	t.runs = []*run{nr}
+	t.merges++
+	for _, r := range old {
+		if err := r.remove(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the tree's component statistics.
+func (t *Tree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s := Stats{
+		MemtableEntries: t.mem.len(),
+		MemtableBytes:   t.mem.size(),
+		Runs:            len(t.runs),
+		Flushes:         t.flushes,
+		Merges:          t.merges,
+	}
+	for _, r := range t.runs {
+		s.RunEntries += r.len()
+	}
+	return s
+}
+
+// Close flushes the WAL and releases file handles. The tree is unusable
+// afterwards.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var first error
+	if err := t.wal.close(); err != nil {
+		first = err
+	}
+	for _, r := range t.runs {
+		if err := r.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// mergedIterLocked builds a k-way merge iterator over memtable + runs,
+// newest version winning per key.
+func (t *Tree) mergedIterLocked(from []byte) (*mergedIter, error) {
+	mi := &mergedIter{memIt: t.mem.iter(from)}
+	for _, r := range t.runs {
+		mi.runIts = append(mi.runIts, r.iter(from))
+	}
+	return mi, nil
+}
+
+// mergedIter merges the memtable iterator (newest) with run iterators
+// (ordered newest first), deduplicating keys.
+type mergedIter struct {
+	memIt  *memtableIter
+	runIts []*runIter
+}
+
+func (m *mergedIter) valid() bool {
+	if m.memIt.valid() {
+		return true
+	}
+	for _, it := range m.runIts {
+		if it.valid() {
+			return true
+		}
+	}
+	return false
+}
+
+// smallestKey returns the minimal key across live iterators and whether the
+// memtable holds it (memtable wins ties as the newest component).
+func (m *mergedIter) smallestKey() (key []byte, fromMem bool, runIdx int) {
+	runIdx = -1
+	if m.memIt.valid() {
+		key = m.memIt.curr().key
+		fromMem = true
+	}
+	for i, it := range m.runIts {
+		if !it.valid() {
+			continue
+		}
+		if key == nil || bytes.Compare(it.key(), key) < 0 {
+			key = it.key()
+			fromMem = false
+			runIdx = i
+		}
+	}
+	return key, fromMem, runIdx
+}
+
+func (m *mergedIter) curr() (entry, error) {
+	key, fromMem, runIdx := m.smallestKey()
+	if key == nil {
+		return entry{}, fmt.Errorf("lsm: curr on exhausted iterator")
+	}
+	if fromMem {
+		return m.memIt.curr(), nil
+	}
+	return m.runIts[runIdx].curr()
+}
+
+func (m *mergedIter) next() error {
+	key, _, _ := m.smallestKey()
+	if key == nil {
+		return nil
+	}
+	if m.memIt.valid() && bytes.Equal(m.memIt.curr().key, key) {
+		m.memIt.next()
+	}
+	for _, it := range m.runIts {
+		for it.valid() && bytes.Equal(it.key(), key) {
+			it.next()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package metadata
+
+import (
+	"fmt"
+	"strings"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/storage"
+)
+
+// This file serializes the catalog to (and restores it from) a single ADM
+// record — the stand-in for AsterixDB's practice of storing metadata in
+// system datasets on the metadata node. The instance snapshots the catalog
+// after every DDL statement and reloads it on restart, so declared types,
+// datasets, feeds, functions, and policies survive process restarts just as
+// the stored data does.
+//
+// Adaptor and external-UDF registries hold Go functions and cannot be
+// serialized; built-ins re-register at startup, and embedding applications
+// must re-register custom ones before reconnecting feeds.
+
+// Marshal serializes the catalog as a binary ADM record.
+func (c *Catalog) Marshal() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	var dataverses []adm.Value
+	for dv := range c.dataverses {
+		dataverses = append(dataverses, adm.String(dv))
+	}
+
+	var types []adm.Value
+	for key, t := range c.datatypes {
+		rt, ok := t.(*adm.RecordType)
+		if !ok {
+			continue // only record types are declared via DDL
+		}
+		dv, name := splitQual(key)
+		var fields []adm.Value
+		for _, f := range rt.Fields() {
+			typeName, isList := fieldTypeName(f.Type)
+			fields = append(fields, (&adm.RecordBuilder{}).
+				Add("name", adm.String(f.Name)).
+				Add("type", adm.String(typeName)).
+				Add("list", adm.Boolean(isList)).
+				Add("optional", adm.Boolean(f.Optional)).
+				MustBuild())
+		}
+		types = append(types, (&adm.RecordBuilder{}).
+			Add("dataverse", adm.String(dv)).
+			Add("name", adm.String(name)).
+			Add("open", adm.Boolean(rt.Open())).
+			Add("fields", &adm.OrderedList{Items: fields}).
+			MustBuild())
+	}
+
+	var datasets []adm.Value
+	for _, ds := range c.datasets {
+		var pk, ng, ixs []adm.Value
+		for _, f := range ds.PrimaryKey {
+			pk = append(pk, adm.String(f))
+		}
+		for _, n := range ds.NodeGroup {
+			ng = append(ng, adm.String(n))
+		}
+		for _, ix := range ds.Indexes {
+			ixs = append(ixs, (&adm.RecordBuilder{}).
+				Add("name", adm.String(ix.Name)).
+				Add("field", adm.String(ix.Field)).
+				Add("kind", adm.String(ix.Kind.String())).
+				MustBuild())
+		}
+		datasets = append(datasets, (&adm.RecordBuilder{}).
+			Add("dataverse", adm.String(ds.Dataverse)).
+			Add("name", adm.String(ds.Name)).
+			Add("type", adm.String(ds.Type.Name())).
+			Add("primaryKey", &adm.OrderedList{Items: pk}).
+			Add("nodeGroup", &adm.OrderedList{Items: ng}).
+			Add("indexes", &adm.OrderedList{Items: ixs}).
+			Add("replicated", adm.Boolean(ds.Replicated)).
+			MustBuild())
+	}
+
+	var feeds []adm.Value
+	for _, f := range c.feeds {
+		var cfg []adm.Value
+		for k, v := range f.AdaptorConfig {
+			cfg = append(cfg, (&adm.RecordBuilder{}).
+				Add("key", adm.String(k)).Add("value", adm.String(v)).MustBuild())
+		}
+		feeds = append(feeds, (&adm.RecordBuilder{}).
+			Add("dataverse", adm.String(f.Dataverse)).
+			Add("name", adm.String(f.Name)).
+			Add("primary", adm.Boolean(f.Primary)).
+			Add("adaptor", adm.String(f.AdaptorName)).
+			Add("config", &adm.OrderedList{Items: cfg}).
+			Add("source", adm.String(f.SourceFeed)).
+			Add("function", adm.String(f.Function)).
+			MustBuild())
+	}
+
+	var functions []adm.Value
+	for _, f := range c.functions {
+		var params []adm.Value
+		for _, p := range f.Params {
+			params = append(params, adm.String(p))
+		}
+		functions = append(functions, (&adm.RecordBuilder{}).
+			Add("dataverse", adm.String(f.Dataverse)).
+			Add("name", adm.String(f.Name)).
+			Add("external", adm.Boolean(f.Kind == ExternalFunction)).
+			Add("params", &adm.OrderedList{Items: params}).
+			Add("body", adm.String(f.Body)).
+			MustBuild())
+	}
+
+	builtin := map[string]bool{}
+	for _, b := range BuiltinPolicies() {
+		builtin[b.Name] = true
+	}
+	var policies []adm.Value
+	for _, p := range c.policies {
+		if builtin[p.Name] {
+			continue
+		}
+		var params []adm.Value
+		for k, v := range p.Params {
+			params = append(params, (&adm.RecordBuilder{}).
+				Add("key", adm.String(k)).Add("value", adm.String(v)).MustBuild())
+		}
+		policies = append(policies, (&adm.RecordBuilder{}).
+			Add("name", adm.String(p.Name)).
+			Add("params", &adm.OrderedList{Items: params}).
+			MustBuild())
+	}
+
+	image := (&adm.RecordBuilder{}).
+		Add("version", adm.Int64(1)).
+		Add("dataverses", &adm.OrderedList{Items: dataverses}).
+		Add("types", &adm.OrderedList{Items: types}).
+		Add("datasets", &adm.OrderedList{Items: datasets}).
+		Add("feeds", &adm.OrderedList{Items: feeds}).
+		Add("functions", &adm.OrderedList{Items: functions}).
+		Add("policies", &adm.OrderedList{Items: policies}).
+		MustBuild()
+	return adm.Encode(image), nil
+}
+
+func splitQual(key string) (dataverse, name string) {
+	if i := strings.Index(key, "."); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return "", key
+}
+
+// fieldTypeName reverses the field's type into (typeName, isList) as the DDL
+// wrote it.
+func fieldTypeName(t adm.Type) (string, bool) {
+	if lt, ok := t.(*adm.OrderedListType); ok {
+		return lt.Item.Name(), true
+	}
+	return t.Name(), false
+}
+
+// LoadCatalog reconstructs a catalog from Marshal's output. Builtin
+// policies and primitive types are re-created fresh.
+func LoadCatalog(data []byte) (*Catalog, error) {
+	v, err := adm.DecodeOne(data)
+	if err != nil {
+		return nil, fmt.Errorf("metadata: loading catalog: %w", err)
+	}
+	image, ok := v.(*adm.Record)
+	if !ok {
+		return nil, fmt.Errorf("metadata: catalog image is %s, want record", v.Tag())
+	}
+	c := NewCatalog()
+
+	for _, dv := range listOf(image, "dataverses") {
+		c.CreateDataverse(string(dv.(adm.String))) //nolint:errcheck // re-creating
+	}
+
+	// Types may reference earlier types; resolve to a fixpoint.
+	pending := listOf(image, "types")
+	for len(pending) > 0 {
+		progressed := false
+		var still []adm.Value
+		for _, tv := range pending {
+			tr := tv.(*adm.Record)
+			dv := str(tr, "dataverse")
+			name := str(tr, "name")
+			open := boolOf(tr, "open")
+			var fields []adm.Field
+			resolved := true
+			for _, fv := range listOf(tr, "fields") {
+				fr := fv.(*adm.Record)
+				base, ok := c.Type(dv, str(fr, "type"))
+				if !ok {
+					resolved = false
+					break
+				}
+				ft := base
+				if boolOf(fr, "list") {
+					ft = &adm.OrderedListType{Item: base}
+				}
+				fields = append(fields, adm.Field{
+					Name: str(fr, "name"), Type: ft, Optional: boolOf(fr, "optional"),
+				})
+			}
+			if !resolved {
+				still = append(still, tv)
+				continue
+			}
+			rt, err := adm.NewRecordType(name, open, fields)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.CreateType(dv, name, rt); err != nil {
+				return nil, err
+			}
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("metadata: unresolvable type references in catalog image")
+		}
+		pending = still
+	}
+
+	for _, dv := range listOf(image, "datasets") {
+		dr := dv.(*adm.Record)
+		t, ok := c.Type(str(dr, "dataverse"), str(dr, "type"))
+		if !ok {
+			return nil, fmt.Errorf("metadata: dataset %s references unknown type %s", str(dr, "name"), str(dr, "type"))
+		}
+		rt, ok := t.(*adm.RecordType)
+		if !ok {
+			return nil, fmt.Errorf("metadata: dataset type %s is not a record type", str(dr, "type"))
+		}
+		ds := &storage.Dataset{
+			Dataverse:  str(dr, "dataverse"),
+			Name:       str(dr, "name"),
+			Type:       rt,
+			Replicated: boolOf(dr, "replicated"),
+		}
+		for _, k := range listOf(dr, "primaryKey") {
+			ds.PrimaryKey = append(ds.PrimaryKey, string(k.(adm.String)))
+		}
+		for _, n := range listOf(dr, "nodeGroup") {
+			ds.NodeGroup = append(ds.NodeGroup, string(n.(adm.String)))
+		}
+		for _, iv := range listOf(dr, "indexes") {
+			ir := iv.(*adm.Record)
+			kind := storage.BTree
+			if str(ir, "kind") == "rtree" {
+				kind = storage.RTree
+			}
+			ds.Indexes = append(ds.Indexes, storage.IndexDecl{
+				Name: str(ir, "name"), Field: str(ir, "field"), Kind: kind,
+			})
+		}
+		if err := c.CreateDataset(ds); err != nil {
+			return nil, err
+		}
+	}
+
+	// Primary feeds first, then secondaries (parents must exist).
+	feedRecs := listOf(image, "feeds")
+	for pass := 0; pass < 2; pass++ {
+		for _, fv := range feedRecs {
+			fr := fv.(*adm.Record)
+			isPrimary := boolOf(fr, "primary")
+			if (pass == 0) != isPrimary {
+				continue
+			}
+			cfg := map[string]string{}
+			for _, cv := range listOf(fr, "config") {
+				cr := cv.(*adm.Record)
+				cfg[str(cr, "key")] = str(cr, "value")
+			}
+			decl := &FeedDecl{
+				Dataverse:     str(fr, "dataverse"),
+				Name:          str(fr, "name"),
+				Primary:       isPrimary,
+				AdaptorName:   str(fr, "adaptor"),
+				AdaptorConfig: cfg,
+				SourceFeed:    str(fr, "source"),
+				Function:      str(fr, "function"),
+			}
+			if err := c.CreateFeed(decl); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, fv := range listOf(image, "functions") {
+		fr := fv.(*adm.Record)
+		kind := AQLFunction
+		if boolOf(fr, "external") {
+			kind = ExternalFunction
+		}
+		decl := &FunctionDecl{
+			Dataverse: str(fr, "dataverse"),
+			Name:      str(fr, "name"),
+			Kind:      kind,
+			Body:      str(fr, "body"),
+		}
+		for _, pv := range listOf(fr, "params") {
+			decl.Params = append(decl.Params, string(pv.(adm.String)))
+		}
+		if err := c.CreateFunction(decl); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, pv := range listOf(image, "policies") {
+		pr := pv.(*adm.Record)
+		decl := &PolicyDecl{Name: str(pr, "name"), Params: map[string]string{}}
+		for _, kv := range listOf(pr, "params") {
+			kr := kv.(*adm.Record)
+			decl.Params[str(kr, "key")] = str(kr, "value")
+		}
+		if err := c.CreatePolicy(decl); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func listOf(r *adm.Record, field string) []adm.Value {
+	v, ok := r.Field(field)
+	if !ok {
+		return nil
+	}
+	if l, ok := v.(*adm.OrderedList); ok {
+		return l.Items
+	}
+	return nil
+}
+
+func str(r *adm.Record, field string) string {
+	v, _ := r.Field(field)
+	s, _ := adm.AsString(v)
+	return s
+}
+
+func boolOf(r *adm.Record, field string) bool {
+	v, _ := r.Field(field)
+	b, ok := v.(adm.Boolean)
+	return ok && bool(b)
+}

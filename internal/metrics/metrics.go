@@ -1,0 +1,149 @@
+// Package metrics provides the lightweight instrumentation the experiment
+// harness uses: windowed counters that yield instantaneous-throughput time
+// series (the y-axis of Figures 6.5 and 7.2–7.12), latency recorders, and
+// monotonic counters.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WindowedCounter counts events into fixed-width time buckets, producing an
+// instantaneous-throughput series.
+type WindowedCounter struct {
+	mu      sync.Mutex
+	start   time.Time
+	width   time.Duration
+	buckets []int64
+	total   int64
+}
+
+// NewWindowedCounter creates a counter with the given bucket width, starting
+// now.
+func NewWindowedCounter(width time.Duration) *WindowedCounter {
+	return &WindowedCounter{start: time.Now(), width: width}
+}
+
+// Add counts n events at the current time.
+func (w *WindowedCounter) Add(n int64) { w.AddAt(time.Now(), n) }
+
+// AddAt counts n events at time t.
+func (w *WindowedCounter) AddAt(t time.Time, n int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	idx := int(t.Sub(w.start) / w.width)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(w.buckets) <= idx {
+		w.buckets = append(w.buckets, 0)
+	}
+	w.buckets[idx] += n
+	w.total += n
+}
+
+// Total reports the total event count.
+func (w *WindowedCounter) Total() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Width reports the bucket width.
+func (w *WindowedCounter) Width() time.Duration { return w.width }
+
+// Series returns a copy of the per-bucket counts.
+func (w *WindowedCounter) Series() []int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int64(nil), w.buckets...)
+}
+
+// Rates returns the per-bucket event rates in events/second.
+func (w *WindowedCounter) Rates() []float64 {
+	series := w.Series()
+	out := make([]float64, len(series))
+	secs := w.width.Seconds()
+	for i, n := range series {
+		out[i] = float64(n) / secs
+	}
+	return out
+}
+
+// LatencyRecorder accumulates durations and reports order statistics.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder creates an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count reports the number of samples.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Quantile returns the q-th (0..1) order statistic, or 0 with no samples.
+func (l *LatencyRecorder) Quantile(q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Counter is a simple monotonic counter, safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowedCounterBuckets(t *testing.T) {
+	w := NewWindowedCounter(100 * time.Millisecond)
+	base := w.start
+	w.AddAt(base.Add(10*time.Millisecond), 5)
+	w.AddAt(base.Add(50*time.Millisecond), 5)
+	w.AddAt(base.Add(150*time.Millisecond), 7)
+	w.AddAt(base.Add(350*time.Millisecond), 3)
+
+	series := w.Series()
+	want := []int64{10, 7, 0, 3}
+	if len(series) != len(want) {
+		t.Fatalf("series length = %d, want %d: %v", len(series), len(want), series)
+	}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, series[i], want[i])
+		}
+	}
+	if w.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", w.Total())
+	}
+	rates := w.Rates()
+	if rates[0] != 100 { // 10 events / 0.1s
+		t.Fatalf("rate[0] = %f, want 100", rates[0])
+	}
+}
+
+func TestWindowedCounterNegativeTimeClamped(t *testing.T) {
+	w := NewWindowedCounter(time.Second)
+	w.AddAt(w.start.Add(-time.Hour), 1)
+	if w.Series()[0] != 1 {
+		t.Fatal("event before start not clamped into bucket 0")
+	}
+}
+
+func TestWindowedCounterConcurrent(t *testing.T) {
+	w := NewWindowedCounter(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if w.Total() != 8000 {
+		t.Fatalf("Total = %d, want 8000", w.Total())
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Quantile(0.5) != 0 || l.Mean() != 0 {
+		t.Fatal("empty recorder should report zero")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	med := l.Quantile(0.5)
+	if med < 45*time.Millisecond || med > 55*time.Millisecond {
+		t.Fatalf("median = %v", med)
+	}
+	p99 := l.Quantile(0.99)
+	if p99 < 95*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	mean := l.Mean()
+	if mean < 49*time.Millisecond || mean > 52*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	if l.Quantile(-1) != 1*time.Millisecond {
+		t.Fatalf("clamped low quantile = %v", l.Quantile(-1))
+	}
+	if l.Quantile(2) != 100*time.Millisecond {
+		t.Fatalf("clamped high quantile = %v", l.Quantile(2))
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Fatalf("Counter = %d, want 4000", c.Value())
+	}
+}

@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"asterixfeeds/internal/lsm"
+)
+
+// ServiceName is the key under which each node's Manager is registered with
+// its hyracks.NodeController.
+const ServiceName = "storage-manager"
+
+// Manager is a node-local storage manager: it owns every dataset partition
+// hosted by one node, rooted at a per-node directory. A node may host
+// several partitions of the same dataset (its own, plus replicas of other
+// nodes' partitions when the dataset is replicated); partitions are keyed
+// by (dataset, partition index).
+type Manager struct {
+	nodeID string
+	dir    string
+	lsmOpt lsm.Options
+
+	mu         sync.Mutex
+	partitions map[string]*Partition // "qualifiedName#idx" -> partition
+	closed     bool
+}
+
+// NewManager creates a storage manager for node nodeID rooted at dir.
+// lsmOpt.Dir is ignored; per-partition directories are derived.
+func NewManager(nodeID, dir string, lsmOpt lsm.Options) *Manager {
+	return &Manager{
+		nodeID:     nodeID,
+		dir:        dir,
+		lsmOpt:     lsmOpt,
+		partitions: make(map[string]*Partition),
+	}
+}
+
+// NodeID returns the owning node's name.
+func (m *Manager) NodeID() string { return m.nodeID }
+
+// Dir returns the manager's root directory.
+func (m *Manager) Dir() string { return m.dir }
+
+func partKey(qualifiedName string, idx int) string {
+	return fmt.Sprintf("%s#%d", qualifiedName, idx)
+}
+
+// OpenPartition opens (creating if needed) this node's own partition of ds:
+// the partition whose index is the node's (first) position in the dataset's
+// nodegroup.
+func (m *Manager) OpenPartition(ds *Dataset) (*Partition, error) {
+	idx := -1
+	for i, n := range ds.NodeGroup {
+		if n == m.nodeID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("storage: node %s not in nodegroup of %s", m.nodeID, ds.QualifiedName())
+	}
+	return m.OpenPartitionIdx(ds, idx, false)
+}
+
+// OpenPartitionIdx opens (creating if needed) partition idx of ds on this
+// node. replica selects a replica directory for newly created partitions;
+// an already-open partition is returned regardless of how it was first
+// created (a promoted replica keeps serving under the same key).
+func (m *Manager) OpenPartitionIdx(ds *Dataset, idx int, replica bool) (*Partition, error) {
+	if idx < 0 || idx >= len(ds.NodeGroup) {
+		return nil, fmt.Errorf("storage: partition index %d out of range for %s", idx, ds.QualifiedName())
+	}
+	key := partKey(ds.QualifiedName(), idx)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("storage: manager closed")
+	}
+	if p, ok := m.partitions[key]; ok {
+		return p, nil
+	}
+	prefix := "p"
+	if replica {
+		prefix = "r"
+	}
+	dir := filepath.Join(m.dir, ds.dirName(), fmt.Sprintf("%s%03d", prefix, idx))
+	p, err := openPartition(ds, idx, dir, m.lsmOpt)
+	if err != nil {
+		return nil, err
+	}
+	m.partitions[key] = p
+	return p, nil
+}
+
+// PartitionIdx returns the already-open partition idx of the named dataset,
+// or nil.
+func (m *Manager) PartitionIdx(qualifiedName string, idx int) *Partition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.partitions[partKey(qualifiedName, idx)]
+}
+
+// Partition returns the already-open partition of the named dataset with
+// the lowest index hosted on this node, or nil.
+func (m *Manager) Partition(qualifiedName string) *Partition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *Partition
+	for key, p := range m.partitions {
+		if key == partKey(qualifiedName, p.Index()) && keyDataset(key) == qualifiedName {
+			if best == nil || p.Index() < best.Index() {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+func keyDataset(key string) string {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '#' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+// DropPartition closes and forgets every partition of the dataset hosted on
+// this node. Data files remain on disk.
+func (m *Manager) DropPartition(qualifiedName string) error {
+	m.mu.Lock()
+	var victims []*Partition
+	for key, p := range m.partitions {
+		if keyDataset(key) == qualifiedName {
+			victims = append(victims, p)
+			delete(m.partitions, key)
+		}
+	}
+	m.mu.Unlock()
+	var first error
+	for _, p := range victims {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close closes every open partition.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var first error
+	for _, p := range m.partitions {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

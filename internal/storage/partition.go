@@ -1,0 +1,411 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/lsm"
+)
+
+// Partition is one hash partition of a dataset: a primary LSM tree keyed by
+// encoded primary key, plus one LSM tree per secondary index. All trees for
+// a partition live under one directory on the hosting node.
+type Partition struct {
+	ds  *Dataset
+	idx int
+
+	mu          sync.Mutex
+	primary     *lsm.Tree
+	secondaries map[string]*lsm.Tree
+	inserted    int64
+	closed      bool
+}
+
+// openPartition opens (creating if needed) partition idx of ds under dir.
+func openPartition(ds *Dataset, idx int, dir string, lsmOpt lsm.Options) (*Partition, error) {
+	p := &Partition{ds: ds, idx: idx, secondaries: make(map[string]*lsm.Tree)}
+	primOpt := lsmOpt
+	primOpt.Dir = filepath.Join(dir, "primary")
+	primary, err := lsm.Open(primOpt)
+	if err != nil {
+		return nil, err
+	}
+	p.primary = primary
+	for _, ix := range ds.Indexes {
+		secOpt := lsmOpt
+		secOpt.Dir = filepath.Join(dir, "idx-"+ix.Name)
+		t, err := lsm.Open(secOpt)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.secondaries[ix.Name] = t
+	}
+	return p, nil
+}
+
+// Index reports this partition's index within the nodegroup.
+func (p *Partition) Index() int { return p.idx }
+
+// Dataset returns the partition's dataset declaration.
+func (p *Partition) Dataset() *Dataset { return p.ds }
+
+// Insert validates rec against the dataset type, writes it to the primary
+// index, and updates every secondary index. The write is atomic at record
+// level: the primary WAL entry precedes index maintenance.
+func (p *Partition) Insert(rec *adm.Record) error {
+	if err := p.ds.Type.Validate(rec); err != nil {
+		return err
+	}
+	pk, err := p.ds.PrimaryKeyOf(rec)
+	if err != nil {
+		return err
+	}
+	val := adm.Encode(rec)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("storage: partition closed")
+	}
+	// Replacing an existing record must first unhook its old secondary
+	// entries.
+	if old, ok, err := p.primary.Get(pk); err != nil {
+		return err
+	} else if ok {
+		if err := p.removeSecondariesLocked(pk, old); err != nil {
+			return err
+		}
+	}
+	if err := p.primary.Put(pk, val); err != nil {
+		return err
+	}
+	for _, ix := range p.ds.Indexes {
+		skey, ok, err := secondaryKey(ix, rec, pk)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // absent optional field: not indexed
+		}
+		if err := p.secondaries[ix.Name].Put(skey, pk); err != nil {
+			return err
+		}
+	}
+	p.inserted++
+	return nil
+}
+
+// InsertEncoded decodes and inserts a serialized record.
+func (p *Partition) InsertEncoded(rec []byte) error {
+	v, err := adm.DecodeOne(rec)
+	if err != nil {
+		return err
+	}
+	r, ok := v.(*adm.Record)
+	if !ok {
+		return fmt.Errorf("storage: encoded value is %s, want record", v.Tag())
+	}
+	return p.Insert(r)
+}
+
+// Delete removes the record with the given primary key fields.
+func (p *Partition) Delete(pkValues []adm.Value) error {
+	if len(pkValues) != len(p.ds.PrimaryKey) {
+		return fmt.Errorf("storage: %d key values for %d-field primary key", len(pkValues), len(p.ds.PrimaryKey))
+	}
+	var pk []byte
+	for _, v := range pkValues {
+		pk = adm.AppendValue(pk, v)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("storage: partition closed")
+	}
+	old, ok, err := p.primary.Get(pk)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if err := p.removeSecondariesLocked(pk, old); err != nil {
+		return err
+	}
+	if err := p.primary.Delete(pk); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *Partition) removeSecondariesLocked(pk, encodedOld []byte) error {
+	v, err := adm.DecodeOne(encodedOld)
+	if err != nil {
+		return err
+	}
+	old, ok := v.(*adm.Record)
+	if !ok {
+		return fmt.Errorf("storage: stored value is not a record")
+	}
+	for _, ix := range p.ds.Indexes {
+		skey, present, err := secondaryKey(ix, old, pk)
+		if err != nil {
+			return err
+		}
+		if !present {
+			continue
+		}
+		if err := p.secondaries[ix.Name].Delete(skey); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup returns the record with the given primary key fields.
+func (p *Partition) Lookup(pkValues []adm.Value) (*adm.Record, bool, error) {
+	var pk []byte
+	for _, v := range pkValues {
+		pk = adm.AppendValue(pk, v)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false, fmt.Errorf("storage: partition closed")
+	}
+	val, ok, err := p.primary.Get(pk)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, err := adm.DecodeOne(val)
+	if err != nil {
+		return nil, false, err
+	}
+	rec, isRec := v.(*adm.Record)
+	if !isRec {
+		return nil, false, fmt.Errorf("storage: stored value is not a record")
+	}
+	return rec, true, nil
+}
+
+// Scan invokes fn for every record in the partition in primary key order.
+// fn returning false stops early.
+func (p *Partition) Scan(fn func(rec *adm.Record) bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("storage: partition closed")
+	}
+	var scanErr error
+	err := p.primary.Scan(nil, nil, func(_, val []byte) bool {
+		v, err := adm.DecodeOne(val)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		rec, ok := v.(*adm.Record)
+		if !ok {
+			scanErr = fmt.Errorf("storage: stored value is not a record")
+			return false
+		}
+		return fn(rec)
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// Count reports the number of live records.
+func (p *Partition) Count() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, fmt.Errorf("storage: partition closed")
+	}
+	return p.primary.Len()
+}
+
+// Inserted reports the number of successful Insert calls since open
+// (a cheap counter; unlike Count it does not scan).
+func (p *Partition) Inserted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inserted
+}
+
+// SearchBTree returns the primary keys of records whose indexed field equals
+// value, using the named btree index.
+func (p *Partition) SearchBTree(indexName string, value adm.Value) ([]*adm.Record, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("storage: partition closed")
+	}
+	ix, ok := p.ds.Index(indexName)
+	if !ok || ix.Kind != BTree {
+		return nil, fmt.Errorf("storage: no btree index %q on %s", indexName, p.ds.QualifiedName())
+	}
+	t := p.secondaries[indexName]
+	prefix := adm.Encode(value)
+	upper := prefixUpperBound(prefix)
+	var out []*adm.Record
+	var innerErr error
+	err := t.Scan(prefix, upper, func(_, pk []byte) bool {
+		val, found, err := p.primary.Get(pk)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if !found {
+			return true
+		}
+		v, err := adm.DecodeOne(val)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		out = append(out, v.(*adm.Record))
+		return true
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return out, err
+}
+
+// SearchRTree returns records whose indexed point field lies within rect,
+// using the named rtree index.
+func (p *Partition) SearchRTree(indexName string, rect adm.Rectangle) ([]*adm.Record, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("storage: partition closed")
+	}
+	ix, ok := p.ds.Index(indexName)
+	if !ok || ix.Kind != RTree {
+		return nil, fmt.Errorf("storage: no rtree index %q on %s", indexName, p.ds.QualifiedName())
+	}
+	t := p.secondaries[indexName]
+	var out []*adm.Record
+	var innerErr error
+	for _, cell := range cellsCovering(rect) {
+		prefix := cellPrefix(cell)
+		upper := prefixUpperBound(prefix)
+		err := t.Scan(prefix, upper, func(key, pk []byte) bool {
+			pt, ok := pointFromRTreeKey(key)
+			if !ok || !rect.Contains(pt) {
+				return true
+			}
+			val, found, err := p.primary.Get(pk)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if !found {
+				return true
+			}
+			v, err := adm.DecodeOne(val)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			out = append(out, v.(*adm.Record))
+			return true
+		})
+		if innerErr != nil {
+			return nil, innerErr
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Flush flushes the primary and secondary trees to disk.
+func (p *Partition) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	if err := p.primary.Flush(); err != nil {
+		return err
+	}
+	for _, t := range p.secondaries {
+		if err := t.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the partition's trees.
+func (p *Partition) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	var first error
+	if p.primary != nil {
+		if err := p.primary.Close(); err != nil {
+			first = err
+		}
+	}
+	for _, t := range p.secondaries {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// secondaryKey builds the secondary index key for rec: the indexed field's
+// encoding (or grid cell for rtree) concatenated with the primary key, so
+// duplicate field values remain distinct entries. ok=false means the field
+// is absent/null and the record is simply not indexed.
+func secondaryKey(ix IndexDecl, rec *adm.Record, pk []byte) (key []byte, ok bool, err error) {
+	v, present := rec.Field(ix.Field)
+	if !present || v.Tag() == adm.TagNull || v.Tag() == adm.TagMissing {
+		return nil, false, nil
+	}
+	switch ix.Kind {
+	case BTree:
+		key = adm.Encode(v)
+	case RTree:
+		pt, isPt := v.(adm.Point)
+		if !isPt {
+			return nil, false, fmt.Errorf("storage: rtree index %q over non-point value %s", ix.Name, v.Tag())
+		}
+		key = cellPrefix(cellOf(pt))
+		// Embed the exact point for in-index filtering.
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[0:], math.Float64bits(pt.X))
+		binary.BigEndian.PutUint64(buf[8:], math.Float64bits(pt.Y))
+		key = append(key, buf[:]...)
+	default:
+		return nil, false, fmt.Errorf("storage: unknown index kind %d", ix.Kind)
+	}
+	return append(key, pk...), true, nil
+}
+
+// prefixUpperBound returns the smallest byte string greater than every
+// string with the given prefix, or nil when no such bound exists.
+func prefixUpperBound(prefix []byte) []byte {
+	up := append([]byte(nil), prefix...)
+	for i := len(up) - 1; i >= 0; i-- {
+		if up[i] != 0xFF {
+			up[i]++
+			return up[:i+1]
+		}
+	}
+	return nil
+}

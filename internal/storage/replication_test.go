@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/lsm"
+)
+
+func TestReplicaOf(t *testing.T) {
+	ds := testDataset("A", "B", "C")
+	ds.Replicated = true
+	cases := map[int]string{0: "B", 1: "C", 2: "A"}
+	for i, want := range cases {
+		if got := ds.ReplicaOf(i); got != want {
+			t.Errorf("ReplicaOf(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if ds.ReplicaOf(-1) != "" || ds.ReplicaOf(3) != "" {
+		t.Error("out-of-range ReplicaOf should be empty")
+	}
+	ds.Replicated = false
+	if ds.ReplicaOf(0) != "" {
+		t.Error("ReplicaOf on unreplicated dataset should be empty")
+	}
+	single := testDataset("A")
+	single.Replicated = true
+	if single.ReplicaOf(0) != "" {
+		t.Error("single-node nodegroup cannot host a replica")
+	}
+}
+
+func TestOpenPartitionIdxAndPromotion(t *testing.T) {
+	ds := testDataset("A", "B")
+	ds.Replicated = true
+	mA := NewManager("A", t.TempDir(), lsm.Options{})
+	defer mA.Close()
+
+	// A hosts its own partition 0 and B's replica (partition 1).
+	p0, err := mA.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Index() != 0 {
+		t.Fatalf("own partition index = %d", p0.Index())
+	}
+	r1, err := mA.OpenPartitionIdx(ds, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Index() != 1 || r1 == p0 {
+		t.Fatal("replica partition wrong")
+	}
+	// Lookups by index find both; Partition() returns the lowest index.
+	if mA.PartitionIdx(ds.QualifiedName(), 0) != p0 || mA.PartitionIdx(ds.QualifiedName(), 1) != r1 {
+		t.Fatal("PartitionIdx lookups wrong")
+	}
+	if mA.Partition(ds.QualifiedName()) != p0 {
+		t.Fatal("Partition() should return the lowest index")
+	}
+	// Re-opening the replica slot as a "primary" (post-promotion) returns
+	// the same partition with its data.
+	r1.Insert(tweetRec("t1", "u", nil)) //nolint:errcheck
+	again, err := mA.OpenPartitionIdx(ds, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != r1 {
+		t.Fatal("promotion reopened a different partition")
+	}
+	if _, ok, _ := again.Lookup([]adm.Value{adm.String("t1")}); !ok {
+		t.Fatal("promoted replica lost its record")
+	}
+	if _, err := mA.OpenPartition(&Dataset{Dataverse: "x", Name: "y", Type: ds.Type, PrimaryKey: []string{"id"}, NodeGroup: []string{"Z"}}); err == nil {
+		t.Fatal("OpenPartition for foreign nodegroup succeeded")
+	}
+}
+
+func TestOpenPartitionIdxRange(t *testing.T) {
+	ds := testDataset("A")
+	m := NewManager("A", t.TempDir(), lsm.Options{})
+	defer m.Close()
+	if _, err := m.OpenPartitionIdx(ds, 5, false); err == nil {
+		t.Fatal("out-of-range partition index accepted")
+	}
+	if _, err := m.OpenPartitionIdx(ds, -1, false); err == nil {
+		t.Fatal("negative partition index accepted")
+	}
+}
+
+func TestCompositePrimaryKey(t *testing.T) {
+	rt := adm.MustRecordType("Event", true, []adm.Field{
+		{Name: "stream", Type: adm.TString},
+		{Name: "seq", Type: adm.TInt64},
+		{Name: "payload", Type: adm.TString},
+	})
+	ds := &Dataset{
+		Dataverse: "feeds", Name: "Events", Type: rt,
+		PrimaryKey: []string{"stream", "seq"}, NodeGroup: []string{"A"},
+	}
+	m := NewManager("A", t.TempDir(), lsm.Options{})
+	defer m.Close()
+	p, err := m.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(stream string, seq int64) *adm.Record {
+		return adm.MustRecord([]string{"stream", "seq", "payload"},
+			[]adm.Value{adm.String(stream), adm.Int64(seq), adm.String("x")})
+	}
+	// Same stream, different seq: distinct records.
+	p.Insert(mk("s1", 1)) //nolint:errcheck
+	p.Insert(mk("s1", 2)) //nolint:errcheck
+	p.Insert(mk("s2", 1)) //nolint:errcheck
+	n, _ := p.Count()
+	if n != 3 {
+		t.Fatalf("composite-key count = %d, want 3", n)
+	}
+	// Same composite key: upsert.
+	p.Insert(mk("s1", 1)) //nolint:errcheck
+	n, _ = p.Count()
+	if n != 3 {
+		t.Fatalf("composite-key upsert count = %d, want 3", n)
+	}
+	got, ok, err := p.Lookup([]adm.Value{adm.String("s1"), adm.Int64(2)})
+	if err != nil || !ok {
+		t.Fatalf("composite Lookup = %v, %v", ok, err)
+	}
+	if s, _ := got.Field("seq"); s.(adm.Int64) != 2 {
+		t.Fatalf("Lookup returned %s", got)
+	}
+}
+
+func TestDropPartitionRemovesAll(t *testing.T) {
+	ds := testDataset("A", "B")
+	ds.Replicated = true
+	m := NewManager("A", t.TempDir(), lsm.Options{})
+	defer m.Close()
+	if _, err := m.OpenPartition(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenPartitionIdx(ds, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropPartition(ds.QualifiedName()); err != nil {
+		t.Fatal(err)
+	}
+	if m.PartitionIdx(ds.QualifiedName(), 0) != nil || m.PartitionIdx(ds.QualifiedName(), 1) != nil {
+		t.Fatal("DropPartition left partitions behind")
+	}
+}

@@ -1,0 +1,191 @@
+// Package stormmongo simulates the paper's "glued together" baseline of
+// Chapter 7: Storm (a data routing engine) feeding MongoDB (a persistence
+// store) through its prescribed insert API. The simulation models exactly
+// the mechanisms the comparison hinges on:
+//
+//   - Storm: a spout/bolt topology with tuple acking and replay — data is
+//     routed reliably but per-tuple bookkeeping costs CPU, and persistence
+//     goes through a store client rather than a co-located operator.
+//   - MongoDB (2.x era): a store with a global (per-database) write lock
+//     and a group-committed journal. Durable writes (j=1) block on the next
+//     journal commit (default every 100 ms scaled down here), capping and
+//     serrating throughput (Figure 7.11); non-durable writes acknowledge
+//     from memory, following the offered rate at the risk of loss
+//     (Figure 7.12).
+package stormmongo
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/metrics"
+)
+
+// MongoConfig tunes the simulated document store.
+type MongoConfig struct {
+	// JournalPath is the journal file; required for durable writes.
+	JournalPath string
+	// CommitInterval is the journal group-commit period (MongoDB's
+	// journalCommitInterval, default 100ms; scale down for experiments).
+	CommitInterval time.Duration
+	// WriteLockDelay models the per-write critical-section cost beyond
+	// the map insert itself (lock acquisition, memory-mapped flush
+	// bookkeeping).
+	WriteLockDelay time.Duration
+}
+
+func (c MongoConfig) withDefaults() MongoConfig {
+	if c.CommitInterval <= 0 {
+		c.CommitInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Mongo is the simulated document store.
+type Mongo struct {
+	cfg MongoConfig
+
+	writeLock sync.Mutex // the global write lock
+	docs      map[string][]byte
+
+	journalMu   sync.Mutex
+	journal     *bufio.Writer
+	journalFile *os.File
+	commitCond  *sync.Cond
+	commitSeq   uint64 // completed group commits
+	pendingSeq  uint64 // commits requested
+	closed      bool
+
+	// Inserted counts acknowledged inserts (windowed for throughput).
+	Inserted *metrics.WindowedCounter
+}
+
+// OpenMongo creates the store; Close releases it.
+func OpenMongo(cfg MongoConfig, window time.Duration) (*Mongo, error) {
+	cfg = cfg.withDefaults()
+	m := &Mongo{
+		cfg:      cfg,
+		docs:     make(map[string][]byte),
+		Inserted: metrics.NewWindowedCounter(window),
+	}
+	m.commitCond = sync.NewCond(&m.journalMu)
+	if cfg.JournalPath != "" {
+		f, err := os.OpenFile(cfg.JournalPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("stormmongo: opening journal: %w", err)
+		}
+		m.journalFile = f
+		m.journal = bufio.NewWriterSize(f, 1<<20)
+		go m.commitLoop()
+	}
+	return m, nil
+}
+
+// commitLoop performs periodic group commits: flush + fsync, then wake the
+// writers waiting for durability.
+func (m *Mongo) commitLoop() {
+	tick := time.NewTicker(m.cfg.CommitInterval)
+	defer tick.Stop()
+	for range tick.C {
+		m.journalMu.Lock()
+		if m.closed {
+			m.journalMu.Unlock()
+			return
+		}
+		if m.pendingSeq > m.commitSeq {
+			m.journal.Flush()
+			m.journalFile.Sync()
+			m.commitSeq = m.pendingSeq
+			m.commitCond.Broadcast()
+		}
+		m.journalMu.Unlock()
+	}
+}
+
+// Insert writes one document. With durable=true the call appends to the
+// journal and blocks until the next group commit (j:1 semantics); with
+// durable=false it acknowledges from memory immediately.
+func (m *Mongo) Insert(id string, doc []byte, durable bool) error {
+	// Global write lock: every writer serializes here.
+	m.writeLock.Lock()
+	if m.cfg.WriteLockDelay > 0 {
+		busyWait(m.cfg.WriteLockDelay)
+	}
+	cp := make([]byte, len(doc))
+	copy(cp, doc)
+	m.docs[id] = cp
+	m.writeLock.Unlock()
+
+	if durable {
+		if m.journal == nil {
+			return fmt.Errorf("stormmongo: durable insert without a journal")
+		}
+		m.journalMu.Lock()
+		if m.closed {
+			m.journalMu.Unlock()
+			return fmt.Errorf("stormmongo: store closed")
+		}
+		m.journal.WriteString(id)
+		m.journal.WriteByte('\n')
+		m.journal.Write(doc)
+		m.journal.WriteByte('\n')
+		m.pendingSeq++
+		want := m.pendingSeq
+		for m.commitSeq < want && !m.closed {
+			m.commitCond.Wait()
+		}
+		m.journalMu.Unlock()
+	}
+	m.Inserted.Add(1)
+	return nil
+}
+
+// busyWait spins for d, modeling in-lock CPU cost (a sleep would release
+// the processor and understate contention).
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// Count reports the number of stored documents.
+func (m *Mongo) Count() int {
+	m.writeLock.Lock()
+	defer m.writeLock.Unlock()
+	return len(m.docs)
+}
+
+// Get fetches a document by id.
+func (m *Mongo) Get(id string) ([]byte, bool) {
+	m.writeLock.Lock()
+	defer m.writeLock.Unlock()
+	d, ok := m.docs[id]
+	return d, ok
+}
+
+// Close releases the journal and wakes blocked writers.
+func (m *Mongo) Close() error {
+	m.journalMu.Lock()
+	m.closed = true
+	m.commitCond.Broadcast()
+	m.journalMu.Unlock()
+	if m.journalFile != nil {
+		m.journal.Flush()
+		return m.journalFile.Close()
+	}
+	return nil
+}
+
+// DocID extracts the "id" field of a tweet-like record for use as the
+// document key.
+func DocID(rec *adm.Record) (string, bool) {
+	v, ok := rec.Field("id")
+	if !ok {
+		return "", false
+	}
+	return string(v.(adm.String)), true
+}

@@ -1,0 +1,230 @@
+package stormmongo
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/tweetgen"
+)
+
+func tweetSource(n int) func() (*adm.Record, bool) {
+	gen := tweetgen.NewGenerator(1, 0)
+	count := 0
+	return func() (*adm.Record, bool) {
+		if count >= n {
+			return nil, false
+		}
+		count++
+		return gen.Next(), true
+	}
+}
+
+func TestMongoInsertAndGet(t *testing.T) {
+	m, err := OpenMongo(MongoConfig{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Insert("a", []byte("doc-a"), false); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := m.Get("a")
+	if !ok || string(d) != "doc-a" {
+		t.Fatalf("Get = %q, %v", d, ok)
+	}
+	if m.Count() != 1 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if _, ok := m.Get("zzz"); ok {
+		t.Fatal("Get(zzz) reported present")
+	}
+}
+
+func TestMongoDurableRequiresJournal(t *testing.T) {
+	m, err := OpenMongo(MongoConfig{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Insert("a", []byte("x"), true); err == nil {
+		t.Fatal("durable insert without journal succeeded")
+	}
+}
+
+func TestMongoDurableBlocksOnGroupCommit(t *testing.T) {
+	m, err := OpenMongo(MongoConfig{
+		JournalPath:    filepath.Join(t.TempDir(), "journal"),
+		CommitInterval: 20 * time.Millisecond,
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	start := time.Now()
+	if err := m.Insert("a", []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// The write must have waited for a group commit (roughly up to one
+	// commit interval).
+	if elapsed < time.Millisecond {
+		t.Fatalf("durable insert returned in %v; did not wait for commit", elapsed)
+	}
+}
+
+func TestMongoDurableVsNonDurableThroughput(t *testing.T) {
+	// The mechanism behind Figures 7.11/7.12: durable writes are capped by
+	// group commits; non-durable writes are not.
+	durable, err := OpenMongo(MongoConfig{
+		JournalPath:    filepath.Join(t.TempDir(), "journal"),
+		CommitInterval: 10 * time.Millisecond,
+	}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.Close()
+	nondurable, err := OpenMongo(MongoConfig{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nondurable.Close()
+
+	run := func(m *Mongo, durableWrites bool) int {
+		n := 0
+		deadline := time.Now().Add(150 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			m.Insert(fmt.Sprint(n), []byte("doc"), durableWrites) //nolint:errcheck
+			n++
+		}
+		return n
+	}
+	nd := run(nondurable, false)
+	d := run(durable, true)
+	if d*3 > nd {
+		t.Fatalf("durable (%d) not substantially slower than non-durable (%d)", d, nd)
+	}
+}
+
+func TestTopologyProcessesAllTuples(t *testing.T) {
+	var processed atomic.Int64
+	spout := NewGeneratorSpout(tweetSource(500))
+	parse := BoltFunc(func(tp *Tuple, emit func(*Tuple)) error {
+		emit(&Tuple{ID: tp.ID, Rec: tp.Rec.WithField("parsed", adm.Boolean(true))})
+		return nil
+	})
+	sink := BoltFunc(func(tp *Tuple, emit func(*Tuple)) error {
+		if _, ok := tp.Rec.Field("parsed"); !ok {
+			t.Error("sink saw unparsed tuple")
+		}
+		processed.Add(1)
+		return nil
+	})
+	topo := NewTopology(TopologyConfig{AckTimeout: 500 * time.Millisecond}, spout, parse, sink)
+	topo.Start()
+	if err := topo.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if processed.Load() != 500 {
+		t.Fatalf("processed %d tuples, want 500", processed.Load())
+	}
+	emitted, acked, _ := topo.Stats()
+	if emitted != 500 || acked != 500 {
+		t.Fatalf("stats = %d emitted, %d acked", emitted, acked)
+	}
+}
+
+func TestTopologyReplaysFailedTuples(t *testing.T) {
+	var attempts atomic.Int64
+	spout := NewGeneratorSpout(tweetSource(50))
+	flaky := BoltFunc(func(tp *Tuple, emit func(*Tuple)) error {
+		// Fail each tuple on its first attempt.
+		if attempts.Add(1) <= 50 {
+			return fmt.Errorf("transient")
+		}
+		emit(tp)
+		return nil
+	})
+	var done atomic.Int64
+	sink := BoltFunc(func(tp *Tuple, emit func(*Tuple)) error {
+		done.Add(1)
+		return nil
+	})
+	topo := NewTopology(TopologyConfig{AckTimeout: 100 * time.Millisecond}, spout, flaky, sink)
+	topo.Start()
+	if err := topo.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != 50 {
+		t.Fatalf("completed %d tuples after replay, want 50", done.Load())
+	}
+	_, _, failed := topo.Stats()
+	if failed == 0 {
+		t.Fatal("no failures recorded despite flaky bolt")
+	}
+}
+
+func TestTopologyStop(t *testing.T) {
+	// An endless spout: Stop must halt everything.
+	gen := tweetgen.NewGenerator(1, 0)
+	spout := NewGeneratorSpout(func() (*adm.Record, bool) { return gen.Next(), true })
+	sink := BoltFunc(func(*Tuple, func(*Tuple)) error { return nil })
+	topo := NewTopology(TopologyConfig{}, spout, sink)
+	topo.Start()
+	time.Sleep(20 * time.Millisecond)
+	doneCh := make(chan struct{})
+	go func() { topo.Stop(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not halt the topology")
+	}
+	emitted, _, _ := topo.Stats()
+	if emitted == 0 {
+		t.Fatal("nothing emitted before stop")
+	}
+}
+
+func TestGluedPipelineEndToEnd(t *testing.T) {
+	// The full glued system: tweet spout -> hashtag bolt -> mongo bolt.
+	m, err := OpenMongo(MongoConfig{}, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spout := NewGeneratorSpout(tweetSource(300))
+	hashtags := BoltFunc(func(tp *Tuple, emit func(*Tuple)) error {
+		text, _ := tp.Rec.Field("message_text")
+		var topics []adm.Value
+		for _, tok := range strings.Fields(string(text.(adm.String))) {
+			if strings.HasPrefix(tok, "#") {
+				topics = append(topics, adm.String(tok))
+			}
+		}
+		emit(&Tuple{ID: tp.ID, Rec: tp.Rec.WithField("topics", &adm.OrderedList{Items: topics})})
+		return nil
+	})
+	mongoBolt := BoltFunc(func(tp *Tuple, emit func(*Tuple)) error {
+		id, ok := DocID(tp.Rec)
+		if !ok {
+			return fmt.Errorf("no id")
+		}
+		return m.Insert(id, adm.Encode(tp.Rec), false)
+	})
+	topo := NewTopology(TopologyConfig{WorkersPerBolt: 2, AckTimeout: time.Second}, spout, hashtags, mongoBolt)
+	topo.Start()
+	if err := topo.Wait(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 300 {
+		t.Fatalf("mongo holds %d docs, want 300", m.Count())
+	}
+	if m.Inserted.Total() != 300 {
+		t.Fatalf("insert counter = %d", m.Inserted.Total())
+	}
+}

@@ -1,0 +1,135 @@
+package tweetgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/core"
+	"asterixfeeds/internal/hyracks"
+)
+
+// AdaptorAlias is the alias under which the in-process TweetGen adaptor
+// registers (the paper's TweetGenAdaptor, Listing 5.19). A socket-based
+// deployment instead uses the generic socket_adaptor pointed at
+// cmd/tweetgen servers.
+const AdaptorAlias = "tweetgen_adaptor"
+
+// RegisterAdaptor installs the TweetGen adaptor factory with a feed
+// manager's registry. Config keys:
+//
+//	"partitions": number of parallel TweetGen instances (default 1)
+//	"rate":       tweets/second per instance (default 1000)
+//	"duration":   seconds to run (default 0 = forever)
+//	"count":      total tweets per instance (overrides duration when set)
+//	"seed":       RNG seed (default 1)
+//	"pattern":    inline pattern descriptor XML (overrides rate/duration)
+func RegisterAdaptor(reg *core.AdaptorRegistry) {
+	reg.Register(AdaptorAlias, func(config map[string]string) (core.ConfiguredAdaptor, error) {
+		parts := 1
+		if v := config["partitions"]; v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("tweetgen: bad partitions %q", v)
+			}
+			parts = n
+		}
+		seed := int64(1)
+		if v := config["seed"]; v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tweetgen: bad seed %q", v)
+			}
+			seed = n
+		}
+		var pattern Pattern
+		switch {
+		case config["pattern"] != "":
+			p, err := ParsePattern([]byte(config["pattern"]))
+			if err != nil {
+				return nil, err
+			}
+			pattern = p
+		default:
+			rate := 1000
+			if v := config["rate"]; v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("tweetgen: bad rate %q", v)
+				}
+				rate = n
+			}
+			var dur time.Duration
+			if v := config["duration"]; v != "" {
+				secs, err := strconv.ParseFloat(v, 64)
+				if err != nil || secs < 0 {
+					return nil, fmt.Errorf("tweetgen: bad duration %q", v)
+				}
+				dur = time.Duration(secs * float64(time.Second))
+			}
+			pattern = ConstantPattern(rate, dur)
+		}
+		count := int64(0)
+		if v := config["count"]; v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("tweetgen: bad count %q", v)
+			}
+			count = n
+		}
+		return &configuredTweetGen{parts: parts, seed: seed, pattern: pattern, count: count}, nil
+	})
+}
+
+type configuredTweetGen struct {
+	parts   int
+	seed    int64
+	pattern Pattern
+	count   int64
+}
+
+// Constraints implements core.ConfiguredAdaptor.
+func (c *configuredTweetGen) Constraints() hyracks.PartitionConstraint {
+	return hyracks.CountConstraint(c.parts)
+}
+
+// PushBased implements core.ConfiguredAdaptor: TweetGen pushes at its
+// configured rate regardless of the receiver.
+func (c *configuredTweetGen) PushBased() bool { return true }
+
+// NewInstance implements core.ConfiguredAdaptor.
+func (c *configuredTweetGen) NewInstance(partition int) (core.Adaptor, error) {
+	return &tweetGenAdaptor{cfg: c, partition: partition}, nil
+}
+
+type tweetGenAdaptor struct {
+	cfg       *configuredTweetGen
+	partition int
+}
+
+// Start implements core.Adaptor.
+func (a *tweetGenAdaptor) Start(sink core.RecordSink, stop <-chan struct{}) error {
+	gen := NewGenerator(a.cfg.seed, a.partition)
+	emit := func(rec *adm.Record) error {
+		if a.cfg.count > 0 && gen.Count() > a.cfg.count {
+			return errDone
+		}
+		return sink.Emit(rec)
+	}
+	err := gen.Emit(a.cfg.pattern, emit, stop)
+	if err == errDone {
+		return nil
+	}
+	if err != nil && strings.Contains(err.Error(), "canceled") {
+		return nil
+	}
+	return err
+}
+
+type doneErr struct{}
+
+func (doneErr) Error() string { return "tweetgen: count reached" }
+
+var errDone = doneErr{}

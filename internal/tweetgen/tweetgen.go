@@ -1,0 +1,264 @@
+// Package tweetgen reimplements the paper's TweetGen workload generator
+// (§5.7): a standalone external data source that emits synthetic but
+// meaningful tweets at a configured rate pattern. A pattern descriptor
+// (Listing 5.13) defines a cycle of (duration, rate) intervals repeated a
+// given number of times.
+//
+// TweetGen can run in two modes:
+//   - over TCP (cmd/tweetgen): it listens on a port, waits for the initial
+//     handshake, and pushes newline-delimited JSON tweets at the pattern's
+//     rate — the push-based external source of the experiments;
+//   - in-process: Generator implements core.GeneratorFunc-compatible
+//     emission for tests and benchmarks without sockets.
+package tweetgen
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"asterixfeeds/internal/adm"
+)
+
+// Interval is one segment of a generation pattern.
+type Interval struct {
+	// Duration is the segment length.
+	Duration time.Duration
+	// Rate is the tweet generation rate in tweets/second (twps).
+	Rate int
+}
+
+// Pattern describes the rate shape TweetGen follows: the listed intervals
+// are played in order and the whole cycle repeats Repeat times (0 or
+// negative repeats forever).
+type Pattern struct {
+	// Intervals are played in order.
+	Intervals []Interval
+	// Repeat is the number of cycles; <= 0 means forever.
+	Repeat int
+}
+
+// ConstantPattern returns a pattern emitting at rate twps for duration
+// (duration <= 0 means forever).
+func ConstantPattern(rate int, duration time.Duration) Pattern {
+	if duration <= 0 {
+		return Pattern{Intervals: []Interval{{Duration: time.Hour, Rate: rate}}, Repeat: 0}
+	}
+	return Pattern{Intervals: []Interval{{Duration: duration, Rate: rate}}, Repeat: 1}
+}
+
+// SquareWavePattern alternates lowRate and highRate every halfPeriod for
+// cycles repetitions — the arrival-rate shape of Figure 7.2.
+func SquareWavePattern(lowRate, highRate int, halfPeriod time.Duration, cycles int) Pattern {
+	return Pattern{
+		Intervals: []Interval{
+			{Duration: halfPeriod, Rate: lowRate},
+			{Duration: halfPeriod, Rate: highRate},
+		},
+		Repeat: cycles,
+	}
+}
+
+// TotalDuration reports the pattern's wall-clock length (0 for forever).
+func (p Pattern) TotalDuration() time.Duration {
+	if p.Repeat <= 0 {
+		return 0
+	}
+	var cycle time.Duration
+	for _, iv := range p.Intervals {
+		cycle += iv.Duration
+	}
+	return cycle * time.Duration(p.Repeat)
+}
+
+// xmlPattern mirrors the paper's pattern descriptor XML (Listing 5.13):
+//
+//	<pattern>
+//	  <cycle repeat="5">
+//	    <interval><duration>400</duration><rate>300</rate></interval>
+//	    <interval><duration>400</duration><rate>600</rate></interval>
+//	  </cycle>
+//	</pattern>
+//
+// Durations are in seconds.
+type xmlPattern struct {
+	XMLName xml.Name `xml:"pattern"`
+	Cycle   struct {
+		Repeat    int `xml:"repeat,attr"`
+		Intervals []struct {
+			Duration float64 `xml:"duration"`
+			Rate     int     `xml:"rate"`
+		} `xml:"interval"`
+	} `xml:"cycle"`
+}
+
+// ParsePattern parses a pattern descriptor XML document.
+func ParsePattern(doc []byte) (Pattern, error) {
+	var xp xmlPattern
+	if err := xml.Unmarshal(doc, &xp); err != nil {
+		return Pattern{}, fmt.Errorf("tweetgen: parsing pattern: %w", err)
+	}
+	if len(xp.Cycle.Intervals) == 0 {
+		return Pattern{}, fmt.Errorf("tweetgen: pattern has no intervals")
+	}
+	p := Pattern{Repeat: xp.Cycle.Repeat}
+	for _, iv := range xp.Cycle.Intervals {
+		if iv.Duration <= 0 || iv.Rate < 0 {
+			return Pattern{}, fmt.Errorf("tweetgen: invalid interval (duration %v, rate %d)", iv.Duration, iv.Rate)
+		}
+		p.Intervals = append(p.Intervals, Interval{
+			Duration: time.Duration(iv.Duration * float64(time.Second)),
+			Rate:     iv.Rate,
+		})
+	}
+	return p, nil
+}
+
+// MarshalPattern renders a pattern as descriptor XML (durations in seconds).
+func MarshalPattern(p Pattern) []byte {
+	var b strings.Builder
+	b.WriteString("<pattern>\n")
+	fmt.Fprintf(&b, "  <cycle repeat=%q>\n", fmt.Sprint(p.Repeat))
+	for _, iv := range p.Intervals {
+		fmt.Fprintf(&b, "    <interval><duration>%g</duration><rate>%d</rate></interval>\n",
+			iv.Duration.Seconds(), iv.Rate)
+	}
+	b.WriteString("  </cycle>\n</pattern>\n")
+	return []byte(b.String())
+}
+
+// Vocabulary for synthetic-but-meaningful tweets.
+var (
+	firstNames = []string{"Nathan", "Maria", "Wei", "Priya", "Diego", "Aisha", "Lars", "Yuki", "Omar", "Elena"}
+	lastNames  = []string{"Giesen", "Lopez", "Chen", "Sharma", "Souza", "Khan", "Berg", "Tanaka", "Hassan", "Petrov"}
+	verbs      = []string{"love", "like", "hate", "dislike", "enjoy", "miss", "want", "need"}
+	topics     = []string{"#verizon", "#att", "#tmobile", "#sprint", "#iphone", "#android", "#asterixdb", "#bigdata", "#irvine", "#coffee"}
+	qualities  = []string{"signal", "battery", "screen", "price", "speed", "coverage", "camera", "service"}
+	moods      = []string{"great", "good", "bad", "awful", "amazing", "terrible", "nice", "sad"}
+	countries  = []string{"US", "IN", "BR", "DE", "JP", "MX", "GB", "EG"}
+	languages  = []string{"en", "es", "pt", "de", "ja", "hi"}
+)
+
+// Generator deterministically produces synthetic tweets. Not safe for
+// concurrent use; create one per partition.
+type Generator struct {
+	rnd       *rand.Rand
+	seed      int64
+	partition int
+	seq       int64
+	baseTime  time.Time
+}
+
+// NewGenerator creates a generator for one partition with a seed; equal
+// (seed, partition) pairs reproduce identical streams. Tweet ids embed both
+// so distinct generator configurations never collide on primary key.
+func NewGenerator(seed int64, partition int) *Generator {
+	return &Generator{
+		rnd:       rand.New(rand.NewSource(seed ^ int64(partition)*7919)),
+		seed:      seed,
+		partition: partition,
+		baseTime:  time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Count reports how many tweets have been generated.
+func (g *Generator) Count() int64 { return g.seq }
+
+// Next generates the next tweet as an ADM record conforming to the paper's
+// Tweet type (Listing 3.1).
+func (g *Generator) Next() *adm.Record {
+	id := fmt.Sprintf("s%d-p%d-%010d", g.seed, g.partition, g.seq)
+	g.seq++
+	first := firstNames[g.rnd.Intn(len(firstNames))]
+	last := lastNames[g.rnd.Intn(len(lastNames))]
+	user := (&adm.RecordBuilder{}).
+		Add("screen_name", adm.String(fmt.Sprintf("%s%s@%d", first, last, g.rnd.Intn(999)))).
+		Add("lang", adm.String(languages[g.rnd.Intn(len(languages))])).
+		Add("friends_count", adm.Int64(int64(g.rnd.Intn(1000)))).
+		Add("statuses_count", adm.Int64(int64(g.rnd.Intn(10000)))).
+		Add("name", adm.String(first+" "+last)).
+		Add("followers_count", adm.Int64(int64(g.rnd.Intn(100000)))).
+		MustBuild()
+	text := fmt.Sprintf("%s %s its %s is %s %s",
+		verbs[g.rnd.Intn(len(verbs))],
+		topics[g.rnd.Intn(len(topics))],
+		qualities[g.rnd.Intn(len(qualities))],
+		moods[g.rnd.Intn(len(moods))],
+		topics[g.rnd.Intn(len(topics))])
+	created := g.baseTime.Add(time.Duration(g.seq) * time.Second)
+	return (&adm.RecordBuilder{}).
+		Add("id", adm.String(id)).
+		Add("user", user).
+		Add("latitude", adm.Double(24+g.rnd.Float64()*25)).
+		Add("longitude", adm.Double(-125+g.rnd.Float64()*59)).
+		Add("created_at", adm.String(created.Format("2006-01-02T15:04:05"))).
+		Add("message_text", adm.String(text)).
+		Add("country", adm.String(countries[g.rnd.Intn(len(countries))])).
+		MustBuild()
+}
+
+// Emit produces tweets following pattern, invoking emit for each; it stops
+// at pattern end or when stop closes. The emission pacing batches sleeps at
+// ~1ms granularity so high rates remain accurate.
+func (g *Generator) Emit(pattern Pattern, emit func(*adm.Record) error, stop <-chan struct{}) error {
+	cycles := pattern.Repeat
+	for cycle := 0; cycles <= 0 || cycle < cycles; cycle++ {
+		for _, iv := range pattern.Intervals {
+			if err := g.emitInterval(iv, emit, stop); err != nil {
+				return err
+			}
+			select {
+			case <-stop:
+				return nil
+			default:
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Generator) emitInterval(iv Interval, emit func(*adm.Record) error, stop <-chan struct{}) error {
+	if iv.Rate <= 0 {
+		select {
+		case <-stop:
+		case <-time.After(iv.Duration):
+		}
+		return nil
+	}
+	start := time.Now()
+	end := start.Add(iv.Duration)
+	sent := 0
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			return nil
+		}
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		// How many tweets should have been sent by now?
+		due := int(float64(iv.Rate) * now.Sub(start).Seconds())
+		if due <= sent {
+			wait := time.Millisecond
+			if remaining := end.Sub(now); remaining < wait {
+				wait = remaining
+			}
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(wait):
+			}
+			continue
+		}
+		for sent < due {
+			if err := emit(g.Next()); err != nil {
+				return err
+			}
+			sent++
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package tweetgen
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"asterixfeeds/internal/adm"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(42, 0)
+	g2 := NewGenerator(42, 0)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if !adm.Equal(a, b) {
+			t.Fatalf("tweet %d differs: %s vs %s", i, a, b)
+		}
+	}
+	// Different partitions produce different ids.
+	g3 := NewGenerator(42, 1)
+	tw := g3.Next()
+	id, _ := tw.Field("id")
+	if !strings.HasPrefix(string(id.(adm.String)), "s42-p1-") {
+		t.Fatalf("partition 1 id = %v", id)
+	}
+	// Different seeds never collide on id.
+	a, _ := NewGenerator(1, 0).Next().Field("id")
+	b, _ := NewGenerator(2, 0).Next().Field("id")
+	if a.(adm.String) == b.(adm.String) {
+		t.Fatal("ids collide across seeds")
+	}
+}
+
+func TestGeneratedTweetShape(t *testing.T) {
+	tweetType := adm.MustRecordType("Tweet", true, []adm.Field{
+		{Name: "id", Type: adm.TString},
+		{Name: "user", Type: adm.MustRecordType("TwitterUser", true, []adm.Field{
+			{Name: "screen_name", Type: adm.TString},
+			{Name: "lang", Type: adm.TString},
+			{Name: "friends_count", Type: adm.TInt64},
+			{Name: "statuses_count", Type: adm.TInt64},
+			{Name: "name", Type: adm.TString},
+			{Name: "followers_count", Type: adm.TInt64},
+		})},
+		{Name: "latitude", Type: adm.TDouble, Optional: true},
+		{Name: "longitude", Type: adm.TDouble, Optional: true},
+		{Name: "created_at", Type: adm.TString},
+		{Name: "message_text", Type: adm.TString},
+		{Name: "country", Type: adm.TString, Optional: true},
+	})
+	g := NewGenerator(7, 0)
+	for i := 0; i < 100; i++ {
+		tw := g.Next()
+		if err := tweetType.Validate(tw); err != nil {
+			t.Fatalf("tweet %d invalid: %v\n%s", i, err, tw)
+		}
+	}
+	if g.Count() != 100 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+}
+
+func TestPatternParseRoundTrip(t *testing.T) {
+	// Listing 5.13's example: two 400s intervals at 300 and 600 twps,
+	// repeated 5 times.
+	doc := []byte(`<pattern>
+  <cycle repeat="5">
+    <interval><duration>400</duration><rate>300</rate></interval>
+    <interval><duration>400</duration><rate>600</rate></interval>
+  </cycle>
+</pattern>`)
+	p, err := ParsePattern(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Repeat != 5 || len(p.Intervals) != 2 {
+		t.Fatalf("pattern = %+v", p)
+	}
+	if p.Intervals[0].Rate != 300 || p.Intervals[1].Duration != 400*time.Second {
+		t.Fatalf("intervals = %+v", p.Intervals)
+	}
+	if p.TotalDuration() != 4000*time.Second {
+		t.Fatalf("TotalDuration = %v", p.TotalDuration())
+	}
+	// Round trip through MarshalPattern.
+	p2, err := ParsePattern(MarshalPattern(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Repeat != p.Repeat || len(p2.Intervals) != len(p.Intervals) || p2.Intervals[1].Rate != 600 {
+		t.Fatalf("marshal round trip = %+v", p2)
+	}
+}
+
+func TestPatternParseErrors(t *testing.T) {
+	for _, doc := range []string{
+		"not xml",
+		"<pattern><cycle repeat=\"1\"></cycle></pattern>",
+		"<pattern><cycle repeat=\"1\"><interval><duration>-1</duration><rate>5</rate></interval></cycle></pattern>",
+	} {
+		if _, err := ParsePattern([]byte(doc)); err == nil {
+			t.Errorf("ParsePattern(%q) succeeded", doc)
+		}
+	}
+}
+
+func TestConstantAndSquareWavePatterns(t *testing.T) {
+	c := ConstantPattern(100, 2*time.Second)
+	if c.TotalDuration() != 2*time.Second || c.Intervals[0].Rate != 100 {
+		t.Fatalf("constant = %+v", c)
+	}
+	forever := ConstantPattern(100, 0)
+	if forever.TotalDuration() != 0 {
+		t.Fatal("forever pattern has finite duration")
+	}
+	sq := SquareWavePattern(300, 600, 400*time.Millisecond, 5)
+	if len(sq.Intervals) != 2 || sq.Intervals[0].Rate != 300 || sq.Intervals[1].Rate != 600 {
+		t.Fatalf("square wave = %+v", sq)
+	}
+	if sq.TotalDuration() != 4*time.Second {
+		t.Fatalf("square wave duration = %v", sq.TotalDuration())
+	}
+}
+
+func TestEmitRateAccuracy(t *testing.T) {
+	g := NewGenerator(1, 0)
+	pattern := ConstantPattern(2000, 250*time.Millisecond)
+	n := 0
+	start := time.Now()
+	err := g.Emit(pattern, func(*adm.Record) error { n++; return nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Expect ~500 tweets in 250ms at 2000 twps; allow slack for CI noise.
+	if n < 350 || n > 650 {
+		t.Fatalf("emitted %d tweets in %v, want ~500", n, elapsed)
+	}
+}
+
+func TestEmitStops(t *testing.T) {
+	g := NewGenerator(1, 0)
+	stop := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		n := 0
+		g.Emit(ConstantPattern(100000, 0), func(*adm.Record) error { n++; return nil }, stop)
+		done <- n
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit did not stop")
+	}
+}
+
+func TestZeroRateIntervalIdles(t *testing.T) {
+	g := NewGenerator(1, 0)
+	p := Pattern{Intervals: []Interval{{Duration: 30 * time.Millisecond, Rate: 0}}, Repeat: 1}
+	n := 0
+	start := time.Now()
+	g.Emit(p, func(*adm.Record) error { n++; return nil }, nil)
+	if n != 0 {
+		t.Fatalf("zero-rate interval emitted %d tweets", n)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("zero-rate interval returned early")
+	}
+}
+
+func TestServerPushesJSONTweets(t *testing.T) {
+	srv := NewServer(ConstantPattern(5000, time.Second), 99)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Handshake: request the flow.
+	if _, err := conn.Write([]byte("GO\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	got := 0
+	for sc.Scan() && got < 100 {
+		line := sc.Text()
+		v, err := adm.Parse(line)
+		if err != nil {
+			t.Fatalf("unparseable tweet %q: %v", line, err)
+		}
+		rec := v.(*adm.Record)
+		if _, ok := rec.Field("message_text"); !ok {
+			t.Fatalf("tweet lacks message_text: %s", rec)
+		}
+		got++
+	}
+	if got < 100 {
+		t.Fatalf("received only %d tweets", got)
+	}
+	if srv.Sent() < 100 {
+		t.Fatalf("server Sent() = %d", srv.Sent())
+	}
+}
+
+func TestServerNoHandshakeNoData(t *testing.T) {
+	srv := NewServer(ConstantPattern(1000, time.Second), 1)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server pushed data before handshake")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(1, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,170 @@
+package asterixfeeds
+
+import (
+	"testing"
+	"time"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/core"
+)
+
+// TestReplicatedDatasetSurvivesStoreNodeLoss exercises the §9.2.2 extension:
+// with `with replication`, the loss of a store node promotes the in-sync
+// replica instead of terminating the feed, and (with at-least-once) no
+// records are lost.
+func TestReplicatedDatasetSurvivesStoreNodeLoss(t *testing.T) {
+	inst := startTest(t, "A", "B", "C")
+	inst.MustExec(`use dataverse feeds;
+		create type Tweet as open { id: string, message_text: string };
+		create dataset Tweets(Tweet) primary key id with replication;`)
+	ds, _ := inst.Catalog().Dataset("feeds", "Tweets")
+	if !ds.Replicated {
+		t.Fatal("with replication clause not honored")
+	}
+	// Store partitions on A and B; replicas cross-hosted (0 on B, 1 on A).
+	ds.NodeGroup = []string{"A", "B"}
+
+	const total = 4000
+	inst.MustExec(`use dataverse feeds;
+		create feed F using tweetgen_adaptor ("rate"="4000", "count"="4000", "seed"="31");
+		connect feed F to dataset Tweets using policy AtLeastOnce;`)
+	conn, _ := inst.Feeds().Connection("feeds", "F", "Tweets")
+
+	// Let roughly half the stream land, then kill store node B.
+	waitCount(t, inst, "Tweets", total/3, 20*time.Second)
+	if err := inst.KillNode("B"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The connection must survive via replica promotion, not fail.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := conn.State(); st == core.ConnFailed {
+			t.Fatalf("connection failed despite replication: %v", conn.Err())
+		}
+		if len(conn.Recoveries()) > 0 && conn.State() == core.ConnConnected {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(conn.Recoveries()) == 0 {
+		t.Fatal("no recovery recorded after store-node loss")
+	}
+	// The nodegroup now points partition 1 at the promoted replica host.
+	for _, n := range ds.NodeGroup {
+		if n == "B" {
+			t.Fatalf("dead node still in nodegroup: %v", ds.NodeGroup)
+		}
+	}
+
+	// All records eventually persist: pre-failure data survives in the
+	// promoted replica; in-flight records are replayed by at-least-once.
+	waitCount(t, inst, "Tweets", total, 60*time.Second)
+}
+
+// TestReplicationKeepsReplicaInSync checks the synchronous-mirroring write
+// path directly.
+func TestReplicationKeepsReplicaInSync(t *testing.T) {
+	inst := startTest(t, "A", "B")
+	inst.MustExec(`use dataverse feeds;
+		create type Tweet as open { id: string, message_text: string };
+		create dataset Tweets(Tweet) primary key id with replication;
+		create feed F using tweetgen_adaptor ("rate"="100000", "count"="500", "seed"="33");
+		connect feed F to dataset Tweets using policy Basic;`)
+	waitCount(t, inst, "Tweets", 500, 20*time.Second)
+
+	ds, _ := inst.Catalog().Dataset("feeds", "Tweets")
+	// Give the final replica mirror writes a moment to settle.
+	time.Sleep(100 * time.Millisecond)
+	for i := range ds.NodeGroup {
+		replicaNode := ds.ReplicaOf(i)
+		if replicaNode == "" {
+			t.Fatalf("partition %d has no replica", i)
+		}
+		primarySM, err := inst.StorageManager(ds.NodeGroup[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicaSM, err := inst.StorageManager(replicaNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prim := primarySM.PartitionIdx(ds.QualifiedName(), i)
+		repl := replicaSM.PartitionIdx(ds.QualifiedName(), i)
+		if prim == nil || repl == nil {
+			t.Fatalf("partition %d: primary or replica not open", i)
+		}
+		np, _ := prim.Count()
+		nr, _ := repl.Count()
+		if np != nr {
+			t.Fatalf("partition %d: primary has %d records, replica %d", i, np, nr)
+		}
+		if np == 0 {
+			t.Fatalf("partition %d empty", i)
+		}
+	}
+}
+
+func TestUnreplicatedStoreLossStillTerminates(t *testing.T) {
+	// Without the extension, the paper's behaviour is preserved: store
+	// node loss ends the feed early.
+	inst := startTest(t, "A", "B")
+	inst.MustExec(`use dataverse feeds;
+		create type Tweet as open { id: string, message_text: string };
+		create dataset Tweets(Tweet) primary key id;
+		create feed F using tweetgen_adaptor ("rate"="2000", "seed"="35");
+		connect feed F to dataset Tweets using policy FaultTolerant;`)
+	conn, _ := inst.Feeds().Connection("feeds", "F", "Tweets")
+	waitCount(t, inst, "Tweets", 100, 20*time.Second)
+	intake, _, _ := conn.Locations()
+	victim := "B"
+	for _, n := range intake {
+		if n == "B" {
+			victim = "A"
+		}
+	}
+	if err := inst.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for conn.State() != core.ConnFailed && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if conn.State() != core.ConnFailed {
+		t.Fatalf("unreplicated dataset survived store loss: %v", conn.State())
+	}
+}
+
+func TestFeedMaintainsSecondaryIndexes(t *testing.T) {
+	// Records ingested through a feed must appear in secondary indexes,
+	// exactly like inserted ones (§5.3.1's IndexInsert semantics).
+	inst := startTest(t, "A")
+	inst.MustExec(`use dataverse feeds;
+		create type GT as open { id: string, message_text: string };
+		create dataset GTs(GT) primary key id;
+		create index locIdx on GTs(location) type rtree;
+		create function locate($t) {
+			record-merge($t, {"location": create-point($t.longitude, $t.latitude)})
+		};
+		create feed F using tweetgen_adaptor ("rate"="50000", "count"="300", "seed"="91")
+			apply function locate;
+		connect feed F to dataset GTs using policy Basic;`)
+	waitCount(t, inst, "GTs", 300, 20*time.Second)
+
+	sm, err := inst.StorageManager("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := sm.Partition("feeds.GTs")
+	if part == nil {
+		t.Fatal("partition not open")
+	}
+	everywhere := adm.Rectangle{Low: adm.Point{X: -180, Y: -90}, High: adm.Point{X: 180, Y: 90}}
+	recs, err := part.SearchRTree("locIdx", everywhere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 300 {
+		t.Fatalf("rtree holds %d entries, want 300", len(recs))
+	}
+}

@@ -1,0 +1,115 @@
+package asterixfeeds
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"asterixfeeds/internal/tweetgen"
+)
+
+// TestSocketAdaptorEndToEnd exercises the full external-source path of the
+// paper's experiments: a standalone TweetGen TCP server pushes JSON tweets;
+// the generic socket adaptor dials it, performs the initial handshake,
+// parses, and the feed persists into an indexed dataset.
+func TestSocketAdaptorEndToEnd(t *testing.T) {
+	srv := tweetgen.NewServer(tweetgen.ConstantPattern(5000, 30*time.Second), 51)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inst := startTest(t, "A", "B")
+	inst.MustExec(tweetDDL)
+	inst.MustExec(fmt.Sprintf(`use dataverse feeds;
+		create feed SocketFeed using socket_adaptor ("sockets"="%s");
+		connect feed SocketFeed to dataset Tweets using policy Basic;`, addr))
+
+	waitCount(t, inst, "Tweets", 500, 20*time.Second)
+	if srv.Sent() < 500 {
+		t.Fatalf("server pushed only %d tweets", srv.Sent())
+	}
+	inst.MustExec(`disconnect feed SocketFeed from dataset Tweets;`)
+}
+
+// TestSocketAdaptorParallelPartitions runs one adaptor instance per
+// configured socket address (the paper's 6-generator setup of §5.7.3).
+func TestSocketAdaptorParallelPartitions(t *testing.T) {
+	var addrs string
+	for i := 0; i < 3; i++ {
+		srv := tweetgen.NewServer(tweetgen.ConstantPattern(3000, 30*time.Second), int64(60+i))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		if i > 0 {
+			addrs += ","
+		}
+		addrs += addr
+	}
+	inst := startTest(t, "A", "B", "C")
+	inst.MustExec(tweetDDL)
+	inst.MustExec(fmt.Sprintf(`use dataverse feeds;
+		create feed MultiFeed using socket_adaptor ("sockets"="%s");
+		connect feed MultiFeed to dataset Tweets using policy Basic;`, addrs))
+
+	conn, _ := inst.Feeds().Connection("feeds", "MultiFeed", "Tweets")
+	intake, _, _ := conn.Locations()
+	if len(intake) != 3 {
+		t.Fatalf("intake parallelism = %d, want 3 (one per socket)", len(intake))
+	}
+	waitCount(t, inst, "Tweets", 900, 20*time.Second)
+}
+
+// TestSocketAdaptorSourceOutage verifies §6.2.3's external-source failure
+// handling: when the source dies for good, the adaptor retries, gives up,
+// and the feed terminates.
+func TestSocketAdaptorSourceOutage(t *testing.T) {
+	srv := tweetgen.NewServer(tweetgen.ConstantPattern(2000, 30*time.Second), 71)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := startTest(t, "A")
+	inst.MustExec(tweetDDL)
+	inst.MustExec(fmt.Sprintf(`use dataverse feeds;
+		create feed OutageFeed using socket_adaptor ("sockets"="%s");
+		connect feed OutageFeed to dataset Tweets using policy Basic;`, addr))
+	waitCount(t, inst, "Tweets", 100, 20*time.Second)
+
+	// The external source goes away permanently.
+	srv.Close()
+	conn, _ := inst.Feeds().Connection("feeds", "OutageFeed", "Tweets")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if conn.State().String() == "failed" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("feed state = %v after source outage, want failed", conn.State())
+}
+
+// TestFileFeedAdaptor exercises the built-in file_feed adaptor used by the
+// batch-inserts experiment (Listing 5.16): a disk-resident record file acts
+// as the external data source.
+func TestFileFeedAdaptor(t *testing.T) {
+	path := t.TempDir() + "/tweets.adm"
+	var lines string
+	for i := 0; i < 150; i++ {
+		lines += fmt.Sprintf("{\"id\": \"f-%03d\", \"message_text\": \"from file #%d\"}\n", i, i)
+	}
+	if err := osWriteFile(path, []byte(lines)); err != nil {
+		t.Fatal(err)
+	}
+	inst := startTest(t, "A")
+	inst.MustExec(`use dataverse feeds;
+		create type DiskTweet as open { id: string, message_text: string };
+		create dataset DiskTweets(DiskTweet) primary key id;`)
+	inst.MustExec(fmt.Sprintf(`use dataverse feeds;
+		create feed UsersOnDisk using file_feed ("path"="%s", "format"="adm");
+		connect feed UsersOnDisk to dataset DiskTweets using policy Basic;`, path))
+	waitCount(t, inst, "DiskTweets", 150, 20*time.Second)
+}
