@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race lint vet fmt ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: the concurrency-heavy packages under the race detector.
+# -short keeps it fast enough to run on every change.
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
+
+# feedlint enforces the architecture invariants in DESIGN.md.
+lint:
+	$(GO) run ./cmd/feedlint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Tier-1 verification in one command.
+ci:
+	./ci.sh

@@ -1,0 +1,21 @@
+#!/bin/sh
+# ci.sh — tier-1 verification in one command: build, vet, feedlint, tests.
+# Usage: ./ci.sh [-race]  (-race appends the race-detector tier)
+set -eu
+
+go build ./...
+echo "build: ok"
+
+go vet ./...
+echo "vet: ok"
+
+go run ./cmd/feedlint ./...
+echo "feedlint: ok"
+
+go test ./...
+echo "test: ok"
+
+if [ "${1:-}" = "-race" ]; then
+	go test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
+	echo "race: ok"
+fi

@@ -1,0 +1,112 @@
+// Command feedlint runs the asterixfeeds static-analysis suite: the
+// layering, locking, goroutine-hygiene, error-handling, and determinism
+// invariants described in DESIGN.md ("Architecture invariants").
+//
+// Usage:
+//
+//	feedlint [-list] [dir ...]
+//
+// With no arguments (or "./..."), feedlint analyzes the module containing
+// the current directory. A directory argument selects the module
+// containing that directory instead (the nearest go.mod walking upward),
+// which is how the fixture modules under internal/lint/testdata are
+// exercised. Findings print as "file:line: [rule] message"; any finding
+// makes the exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"asterixfeeds/internal/lint"
+	"asterixfeeds/internal/lint/archrule"
+	"asterixfeeds/internal/lint/errdrop"
+	"asterixfeeds/internal/lint/goleak"
+	"asterixfeeds/internal/lint/mutexcheck"
+	"asterixfeeds/internal/lint/simclock"
+)
+
+func analyzers() []lint.Analyzer {
+	return []lint.Analyzer{
+		archrule.New(nil),
+		mutexcheck.New(),
+		goleak.New(nil),
+		errdrop.New(nil),
+		simclock.New(nil),
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	as := analyzers()
+	if *list {
+		for _, a := range as {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	roots := moduleRoots(flag.Args())
+	exit := 0
+	for _, root := range roots {
+		findings, err := run(root, as)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "feedlint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(relFinding(f))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// moduleRoots maps the argument list to the set of directories to lint,
+// treating no args and "./..." as the current directory.
+func moduleRoots(args []string) []string {
+	if len(args) == 0 {
+		return []string{"."}
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			a = "."
+		}
+		a = filepath.Clean(a)
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// run lints the module containing dir and returns its findings.
+func run(dir string, as []lint.Analyzer) ([]lint.Finding, error) {
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(pkgs, as), nil
+}
+
+// relFinding renders a finding with the file path relative to the current
+// directory when possible, keeping output stable and short.
+func relFinding(f lint.Finding) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+	}
+	return f.String()
+}

@@ -70,7 +70,7 @@ func (t *ackTracker) track(partition int, payload []byte) uint64 {
 	t.pending[id] = &pendingRecord{
 		payload:   append([]byte(nil), payload...),
 		partition: partition,
-		sentAt:    time.Now(),
+		sentAt:    nowFunc(),
 	}
 	return id
 }
@@ -157,7 +157,7 @@ func (t *ackTracker) runSweeper(stop <-chan struct{}) {
 	for {
 		select {
 		case <-tick.C:
-			t.sweep(time.Now())
+			t.sweep(nowFunc())
 		case <-stop:
 			return
 		}

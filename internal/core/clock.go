@@ -1,0 +1,12 @@
+package core
+
+import "time"
+
+// nowFunc is the feed runtime's canonical clock indirection point. The
+// simclock analyzer (cmd/feedlint) forbids direct time.Now()/time.Since()
+// calls in this package so the Chapter-7 experiments can pin time;
+// everything reads the clock through this hook instead.
+var nowFunc = time.Now
+
+// sinceFunc measures elapsed time against the same hook.
+func sinceFunc(t time.Time) time.Duration { return nowFunc().Sub(t) }

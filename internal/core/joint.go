@@ -462,7 +462,7 @@ func (s *Subscription) throttleLocked(f *hyracks.Frame) {
 func (s *Subscription) enqueueLocked(f *hyracks.Frame, b *dataBucket) {
 	s.frames = append(s.frames, f)
 	s.buckets = append(s.buckets, b)
-	s.arrived = append(s.arrived, time.Now())
+	s.arrived = append(s.arrived, nowFunc())
 	s.backlog += f.Len()
 	s.stats.Received += int64(f.Len())
 	select {
@@ -486,7 +486,7 @@ func (s *Subscription) Next(cancel <-chan struct{}) (f *hyracks.Frame, ok bool) 
 			s.arrived = s.arrived[1:]
 			s.backlog -= f.Len()
 			if s.latency != nil {
-				s.latency.Record(time.Since(at))
+				s.latency.Record(sinceFunc(at))
 			}
 			// Replenish from spill once memory has room (deferred
 			// processing resumes "as soon as resources are available",
@@ -531,7 +531,7 @@ func (s *Subscription) replenishFromSpillLocked() {
 		}
 		s.frames = append(s.frames, f)
 		s.buckets = append(s.buckets, nil)
-		s.arrived = append(s.arrived, time.Now())
+		s.arrived = append(s.arrived, nowFunc())
 		s.backlog += f.Len()
 	}
 }

@@ -118,7 +118,7 @@ func (m *metaFeed) guard(record []byte, work func() error) (skipped bool, fatal 
 	}
 
 	entry := ExceptionEntry{
-		Time:     time.Now(),
+		Time:     nowFunc(),
 		Operator: m.operator,
 		Node:     m.node,
 		Err:      soft.Error(),

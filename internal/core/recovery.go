@@ -81,13 +81,13 @@ func (m *Manager) handleNodeDeath(node string) {
 			}
 		}
 		conn.setState(ConnRecovering)
-		repairStart := time.Now()
+		repairStart := nowFunc()
 		if err := m.rebuildTailLocked(conn); err != nil {
 			m.failConnectionLocked(conn, fmt.Errorf("core: recovery failed: %w", err))
 			continue
 		}
 		conn.setState(ConnConnected)
-		conn.recordRecovery(time.Since(repairStart))
+		conn.recordRecovery(sinceFunc(repairStart))
 	}
 }
 

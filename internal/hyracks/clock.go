@@ -1,0 +1,18 @@
+package hyracks
+
+import "time"
+
+// nowFunc is the simulated cluster's canonical clock indirection point.
+// The simclock analyzer (cmd/feedlint) forbids direct time.Now() calls in
+// this package; heartbeat stamping and failure detection read the clock
+// through the cluster's now() so deterministic runs can pin it.
+var nowFunc = time.Now
+
+// now reads the cluster clock: the Config.Clock override when set, the
+// real clock otherwise.
+func (c *Cluster) now() time.Time {
+	if c.cfg.Clock != nil {
+		return c.cfg.Clock()
+	}
+	return nowFunc()
+}

@@ -27,6 +27,10 @@ type Config struct {
 	// default) disables it. The batch-inserts experiment (Table 5.1)
 	// sets it so per-statement overheads are realistic.
 	ScheduleDelay time.Duration
+	// Clock, when set, replaces the real clock for heartbeat stamping
+	// and failure detection, letting deterministic experiments drive
+	// time explicitly.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -192,7 +196,7 @@ func (c *Cluster) AddNode(name string) (*NodeController, error) {
 	n := &NodeController{id: name, dead: make(chan struct{}), services: make(map[string]any)}
 	c.nodes[name] = n
 	c.alive[name] = true
-	c.lastBeat[name] = time.Now()
+	c.lastBeat[name] = c.now()
 	subs := c.clusterSubsLocked()
 	c.mu.Unlock()
 
@@ -215,7 +219,7 @@ func (c *Cluster) heartbeatLoop(n *NodeController) {
 		case <-t.C:
 			c.mu.Lock()
 			if c.alive[n.id] {
-				c.lastBeat[n.id] = time.Now()
+				c.lastBeat[n.id] = c.now()
 			}
 			c.mu.Unlock()
 		case <-n.dead:
@@ -243,7 +247,7 @@ func (c *Cluster) monitor() {
 }
 
 func (c *Cluster) checkHeartbeats() {
-	now := time.Now()
+	now := c.now()
 	var deadNodes []string
 	c.mu.Lock()
 	for id, ok := range c.alive {

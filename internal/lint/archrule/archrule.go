@@ -1,0 +1,120 @@
+// Package archrule enforces the module's layering DAG at lint time. The
+// feed stack only stays correct while the dataflow engine (hyracks),
+// storage (lsm/storage), and the feed runtime (core) own their layers and
+// never reach around each other; archrule turns that discipline into a
+// declarative, import-graph-checked rule table.
+package archrule
+
+import (
+	"strconv"
+	"strings"
+
+	"asterixfeeds/internal/lint"
+)
+
+// Rule constrains the module-internal imports of packages matching Pkg.
+// Patterns match at path-segment boundaries (see lint.MatchPath); "*"
+// matches every package.
+type Rule struct {
+	// Pkg selects the packages this rule governs.
+	Pkg string
+	// Allow, when non-nil, is the exhaustive whitelist of module-internal
+	// imports; anything else is a violation. An empty (non-nil) list
+	// forbids all internal imports.
+	Allow []string
+	// Deny lists imports that are violations regardless of Allow.
+	Deny []string
+}
+
+// DefaultRules is the asterixfeeds layering table:
+//
+//   - internal/adm (the data model) sits at the bottom: no internal imports
+//   - internal/lsm may import only adm
+//   - internal/storage may import only adm and lsm (it layers datasets and
+//     partitions over LSM trees)
+//   - internal/hyracks (the dataflow engine) is self-contained and, in
+//     particular, must never import the feed runtime in internal/core
+//   - internal/metrics is self-contained
+//   - internal/metadata may import only adm, lsm, and storage
+//   - internal/core (the feed runtime) must not reach up into the query
+//     layer (aql) or the experiment harness
+//   - nothing imports cmd/ binaries
+var DefaultRules = []Rule{
+	{Pkg: "internal/adm", Allow: []string{}},
+	{Pkg: "internal/lsm", Allow: []string{"internal/adm"}},
+	{Pkg: "internal/storage", Allow: []string{"internal/adm", "internal/lsm"}},
+	{Pkg: "internal/hyracks", Allow: []string{}, Deny: []string{"internal/core"}},
+	{Pkg: "internal/metrics", Allow: []string{}},
+	{Pkg: "internal/metadata", Allow: []string{"internal/adm", "internal/lsm", "internal/storage"}},
+	{Pkg: "internal/core", Deny: []string{"internal/aql", "internal/experiments"}},
+	{Pkg: "*", Deny: []string{"cmd"}},
+}
+
+// Analyzer checks each package's imports against a rule table.
+type Analyzer struct {
+	Rules []Rule
+}
+
+// New returns an archrule analyzer over the given table, defaulting to
+// DefaultRules.
+func New(rules []Rule) *Analyzer {
+	if rules == nil {
+		rules = DefaultRules
+	}
+	return &Analyzer{Rules: rules}
+}
+
+// Name implements lint.Analyzer.
+func (*Analyzer) Name() string { return "archrule" }
+
+// Doc implements lint.Analyzer.
+func (*Analyzer) Doc() string {
+	return "layering DAG: module-internal imports must follow the architecture rule table"
+}
+
+// Run implements lint.Analyzer.
+func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			// Only module-internal edges are architecture edges.
+			if path != pkg.Module && !strings.HasPrefix(path, pkg.Module+"/") {
+				continue
+			}
+			for _, rule := range a.Rules {
+				if !lint.MatchPath(rule.Pkg, pkg.Path) {
+					continue
+				}
+				if msg := rule.check(pkg, path); msg != "" {
+					out = append(out, lint.Finding{
+						Pos:     pkg.Fset.Position(imp.Pos()),
+						Rule:    "archrule",
+						Message: msg,
+					})
+					break // one finding per import is enough
+				}
+			}
+		}
+	}
+	return out
+}
+
+// check reports a non-empty violation message when importing path from a
+// package governed by r breaks the rule.
+func (r Rule) check(pkg *lint.Package, path string) string {
+	rel := strings.TrimPrefix(path, pkg.Module+"/")
+	if lint.MatchAny(r.Deny, path) {
+		return pkg.RelPath() + " must not import " + rel
+	}
+	if r.Allow != nil && !lint.MatchAny(r.Allow, path) {
+		if len(r.Allow) == 0 {
+			return pkg.RelPath() + " must not import any internal package, got " + rel
+		}
+		return pkg.RelPath() + " may import only {" + strings.Join(r.Allow, ", ") + "}, got " + rel
+	}
+	return ""
+}

@@ -1,0 +1,14 @@
+package archrule_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/archrule"
+	"asterixfeeds/internal/lint/linttest"
+)
+
+// TestFixture asserts the exact layering violations in the archmod
+// fixture: core→aql, hyracks→core, lsm→storage, and aql→cmd/tool.
+func TestFixture(t *testing.T) {
+	linttest.RunGolden(t, "archmod", archrule.New(nil))
+}

@@ -1,0 +1,131 @@
+// Package errdrop flags silently discarded error results from
+// Write/Flush/Close/Sync calls in the persistence layers (internal/lsm and
+// internal/storage). A dropped error on those paths is a silent
+// WAL-or-disk-loss bug: the record looks durable but never reached stable
+// storage. An error must be handled or explicitly discarded with `_ =`;
+// deferred calls are exempt (Go offers no ergonomic way to propagate
+// them, and the hot paths check errors on the in-line calls).
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"asterixfeeds/internal/lint"
+)
+
+// DefaultPackages are the durability-critical packages.
+var DefaultPackages = []string{"internal/lsm", "internal/storage"}
+
+// checkedMethods are the durability-relevant method names.
+var checkedMethods = map[string]bool{
+	"Write": true, "Flush": true, "Close": true, "Sync": true,
+}
+
+// neverFails lists receiver types whose Write contractually cannot return
+// a non-nil error; flagging them would be pure noise.
+var neverFails = []string{
+	"hash.Hash", "hash.Hash32", "hash.Hash64",
+	"bytes.Buffer", "strings.Builder",
+}
+
+// Analyzer implements lint.Analyzer over the configured packages.
+type Analyzer struct {
+	// Packages are segment-boundary patterns selecting where the check
+	// applies.
+	Packages []string
+}
+
+// New returns an errdrop analyzer scoped to the given package patterns,
+// defaulting to DefaultPackages.
+func New(packages []string) *Analyzer {
+	if packages == nil {
+		packages = DefaultPackages
+	}
+	return &Analyzer{Packages: packages}
+}
+
+// Name implements lint.Analyzer.
+func (*Analyzer) Name() string { return "errdrop" }
+
+// Doc implements lint.Analyzer.
+func (*Analyzer) Doc() string {
+	return "Write/Flush/Close/Sync errors in persistence packages must be handled or explicitly discarded"
+}
+
+// Run implements lint.Analyzer.
+func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
+	if !lint.MatchAny(a.Packages, pkg.Path) {
+		return nil
+	}
+	var out []lint.Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Only a bare expression statement discards implicitly;
+			// `_ = f.Close()` is a visible, deliberate discard and
+			// `defer f.Close()` is exempt by design.
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := a.droppedError(pkg, call); ok {
+				out = append(out, lint.Finding{
+					Pos:     pkg.Fset.Position(call.Pos()),
+					Rule:    "errdrop",
+					Message: name + " error discarded; handle it or discard explicitly with _ =",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// droppedError reports whether call is a checked durability method whose
+// error result is being dropped, returning the rendered callee for the
+// message.
+func (a *Analyzer) droppedError(pkg *lint.Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !checkedMethods[sel.Sel.Name] {
+		return "", false
+	}
+	// Skip calls through never-failing receivers (hash writers etc.).
+	if rt := pkg.Info.Types[sel.X].Type; rt != nil {
+		s := strings.TrimPrefix(rt.String(), "*")
+		for _, nf := range neverFails {
+			if s == nf {
+				return "", false
+			}
+		}
+	}
+	// Require the call to actually return an error; with partial type
+	// info, fall back to flagging by name.
+	if tv, ok := pkg.Info.Types[call]; ok && tv.Type != nil {
+		if !returnsError(tv.Type) {
+			return "", false
+		}
+	}
+	return types.ExprString(call.Fun), true
+}
+
+// returnsError reports whether a call result type includes an error.
+func returnsError(t types.Type) bool {
+	isErr := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErr(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(t)
+}

@@ -1,0 +1,15 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/errdrop"
+	"asterixfeeds/internal/lint/linttest"
+)
+
+// TestFixture asserts the four dropped durability errors in bad.go are
+// flagged while hash writes, explicit `_ =` discards, deferred closes,
+// and fully checked paths in good.go stay clean.
+func TestFixture(t *testing.T) {
+	linttest.RunGolden(t, "errdropmod", errdrop.New(nil))
+}

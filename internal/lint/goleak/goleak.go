@@ -1,0 +1,150 @@
+// Package goleak flags goroutine-leak suspects in the ingestion pipeline:
+// a `go func(){...}()` literal in the feed runtime (internal/core) or the
+// dataflow engine (internal/hyracks) that captures neither a
+// context.Context, nor a done/stop channel it receives from, nor a
+// sync.WaitGroup it signals. Such a goroutine has no shutdown path — it
+// outlives its feed job and leaks under the paper's
+// connect/disconnect-heavy workloads.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asterixfeeds/internal/lint"
+)
+
+// DefaultPackages are the pipeline packages whose goroutines must be
+// lifecycle-managed.
+var DefaultPackages = []string{"internal/core", "internal/hyracks"}
+
+// Analyzer implements lint.Analyzer over the configured packages.
+type Analyzer struct {
+	// Packages are segment-boundary patterns selecting where the check
+	// applies (see lint.MatchPath).
+	Packages []string
+}
+
+// New returns a goleak analyzer scoped to the given package patterns,
+// defaulting to DefaultPackages.
+func New(packages []string) *Analyzer {
+	if packages == nil {
+		packages = DefaultPackages
+	}
+	return &Analyzer{Packages: packages}
+}
+
+// Name implements lint.Analyzer.
+func (*Analyzer) Name() string { return "goleak" }
+
+// Doc implements lint.Analyzer.
+func (*Analyzer) Doc() string {
+	return "go-func literals in pipeline packages must capture a context, done channel, or WaitGroup"
+}
+
+// Run implements lint.Analyzer.
+func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
+	if !lint.MatchAny(a.Packages, pkg.Path) {
+		return nil
+	}
+	var out []lint.Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasLifecycle(pkg, lit) {
+				out = append(out, lint.Finding{
+					Pos:     pkg.Fset.Position(gs.Go),
+					Rule:    "goleak",
+					Message: "goroutine captures no context, done channel, or WaitGroup; it has no shutdown path",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasLifecycle reports whether the literal's body shows any of the three
+// accepted lifecycle signals:
+//
+//  1. it references a value of type context.Context (cancellation);
+//  2. it receives from a channel — unary <-ch, a select clause, or
+//     ranging over a channel (a done/stop/work channel closing ends it);
+//  3. it calls Done or Wait on a sync.WaitGroup (tracked shutdown).
+func hasLifecycle(pkg *lint.Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if isChan(pkg.Info.Types[n.X].Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+					if isWaitGroup(pkg.Info.Types[sel.X].Type) {
+						found = true
+					}
+				}
+			}
+		case ast.Expr:
+			if isContext(pkg.Info.Types[n].Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

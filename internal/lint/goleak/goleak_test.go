@@ -1,0 +1,15 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/goleak"
+	"asterixfeeds/internal/lint/linttest"
+)
+
+// TestFixture asserts that only the two untracked goroutines in bad.go
+// are flagged; the context, done-channel, WaitGroup, and range-drain
+// variants in good.go stay clean.
+func TestFixture(t *testing.T) {
+	linttest.RunGolden(t, "goleakmod", goleak.New(nil))
+}

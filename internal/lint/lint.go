@@ -1,0 +1,191 @@
+// Package lint is a self-contained static-analysis framework for the
+// asterixfeeds module, built only on the standard library's go/ast,
+// go/parser, and go/types. It exists because the feed stack's correctness
+// depends on invariants no compiler checks: layering between the dataflow
+// engine, storage, and the feed runtime; lock discipline on hot paths; and
+// goroutine hygiene in the ingestion pipeline. Analyzers live in
+// subpackages (archrule, mutexcheck, goleak, errdrop, simclock) and are
+// driven by cmd/feedlint.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the canonical "file:line: [rule] message"
+// form used by cmd/feedlint and the fixture goldens.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Analyzer is a single named check run over one package at a time.
+type Analyzer interface {
+	// Name is the rule id printed in findings, e.g. "archrule".
+	Name() string
+	// Doc is a one-line description shown by feedlint -list.
+	Doc() string
+	// Run reports violations found in pkg.
+	Run(pkg *Package) []Finding
+}
+
+// Package is one loaded, parsed, type-checked package handed to analyzers.
+// Test files (*_test.go) are never included: feedlint guards production
+// invariants, and tests legitimately use real clocks, drop errors, etc.
+type Package struct {
+	// Path is the full import path, e.g. "asterixfeeds/internal/core".
+	Path string
+	// Module is the module path from go.mod, e.g. "asterixfeeds".
+	Module string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	// Pkg is the type-checked package; non-nil even when TypeErrors is
+	// not empty (go/types returns partial results).
+	Pkg *types.Package
+	// Info carries Types, Defs, Uses, and Selections for Files.
+	Info *types.Info
+	// TypeErrors collects soft type-check failures. Analyzers degrade to
+	// syntactic checks when type information is missing.
+	TypeErrors []error
+}
+
+// RelPath is Path with the module prefix stripped; the module root package
+// itself becomes ".".
+func (p *Package) RelPath() string {
+	if p.Path == p.Module {
+		return "."
+	}
+	return strings.TrimPrefix(p.Path, p.Module+"/")
+}
+
+// MatchPath reports whether pattern matches the import path at segment
+// boundaries. A pattern like "internal/core" matches
+// "asterixfeeds/internal/core" and any package beneath it
+// ("asterixfeeds/internal/core/sub"), but not "internal/corelib".
+func MatchPath(pattern, path string) bool {
+	if pattern == "*" || pattern == path {
+		return true
+	}
+	if strings.HasPrefix(path, pattern+"/") || strings.HasSuffix(path, "/"+pattern) {
+		return true
+	}
+	return strings.Contains(path, "/"+pattern+"/")
+}
+
+// MatchAny reports whether any pattern matches path.
+func MatchAny(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if MatchPath(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowDirective is the comment prefix suppressing a finding, as in
+//
+//	//feedlint:allow simclock -- canonical real-clock fallback
+//
+// A directive on the same line as the finding, or on a line directly above
+// it, suppresses findings of that rule (or every rule, for "all").
+const allowDirective = "//feedlint:allow"
+
+// suppressions maps file -> line -> set of rule names allowed there.
+type suppressions map[string]map[string]map[string]bool
+
+func (s suppressions) add(file string, line int, rule string) {
+	if s[file] == nil {
+		s[file] = make(map[string]map[string]bool)
+	}
+	key := fmt.Sprint(line)
+	if s[file][key] == nil {
+		s[file][key] = make(map[string]bool)
+	}
+	s[file][key][rule] = true
+}
+
+func (s suppressions) allows(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if rules := lines[fmt.Sprint(line)]; rules != nil {
+			if rules[f.Rule] || rules["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans a package's comments for allow directives.
+func collectSuppressions(pkg *Package, sup suppressions) {
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+				// Strip an optional "-- reason" suffix.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, rule := range strings.Fields(rest) {
+					sup.add(pos.Filename, pos.Line, rule)
+				}
+			}
+		}
+	}
+}
+
+// Run executes every analyzer over every package, drops suppressed
+// findings, and returns the remainder sorted by file, line, and rule.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	sup := make(suppressions)
+	for _, pkg := range pkgs {
+		collectSuppressions(pkg, sup)
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			for _, f := range a.Run(pkg) {
+				if !sup.allows(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return out
+}

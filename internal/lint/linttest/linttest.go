@@ -1,0 +1,93 @@
+// Package linttest is the shared harness for analyzer fixture tests: it
+// loads a fixture module from internal/lint/testdata, runs analyzers over
+// it, and compares the findings against the fixture's expect.golden file
+// (exact file, line, rule id, and message). Run tests with -update to
+// regenerate goldens.
+package linttest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asterixfeeds/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite expect.golden files")
+
+// Fixture loads the named fixture module (a directory under
+// internal/lint/testdata containing its own go.mod) and returns its
+// packages plus the fixture root.
+func Fixture(t *testing.T, name string) ([]*lint.Package, string) {
+	t.Helper()
+	// Analyzer tests run from internal/lint/<analyzer>, the framework's
+	// own tests from internal/lint; probe both spots.
+	var root string
+	for _, candidate := range []string{
+		filepath.Join("testdata", name),
+		filepath.Join("..", "testdata", name),
+	} {
+		if _, err := os.Stat(filepath.Join(candidate, "go.mod")); err == nil {
+			abs, err := filepath.Abs(candidate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root = abs
+			break
+		}
+	}
+	if root == "" {
+		t.Fatalf("fixture %s not found under testdata or ../testdata", name)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if loader.RootDir != root {
+		t.Fatalf("fixture %s resolved to module %s; does it have a go.mod?", name, loader.RootDir)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkgs, root
+}
+
+// RunGolden runs the analyzers over the named fixture and asserts that
+// the findings match <fixture>/expect.golden exactly.
+func RunGolden(t *testing.T, fixture string, analyzers ...lint.Analyzer) {
+	t.Helper()
+	pkgs, root := Fixture(t, fixture)
+	got := Format(root, lint.Run(pkgs, analyzers))
+
+	goldenPath := filepath.Join(root, "expect.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", fixture, got, want)
+	}
+}
+
+// Format renders findings one per line with paths relative to root, the
+// exact format stored in goldens.
+func Format(root string, findings []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = filepath.ToSlash(rel)
+		}
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,318 @@
+// Package mutexcheck guards the feed stack's lock discipline. It flags two
+// classes of concurrency bugs that the compiler accepts silently:
+//
+//  1. sync.Mutex / sync.RWMutex / sync.WaitGroup (and other no-copy sync
+//     types) passed, received, or assigned by value — the copy has its own
+//     state, so the "lock" protects nothing;
+//  2. a blocking channel send performed while a lock is held — with
+//     bounded inter-node channels (back-pressure by design, §5.3), a full
+//     queue turns the send into an unbounded stall with a lock held, which
+//     is how ingestion pipelines deadlock.
+package mutexcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"asterixfeeds/internal/lint"
+)
+
+// Analyzer implements lint.Analyzer; it runs over every package.
+type Analyzer struct{}
+
+// New returns the mutexcheck analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+// Name implements lint.Analyzer.
+func (*Analyzer) Name() string { return "mutexcheck" }
+
+// Doc implements lint.Analyzer.
+func (*Analyzer) Doc() string {
+	return "sync primitives copied by value, or locks held across blocking channel sends"
+}
+
+// noCopySyncTypes are the sync types whose value semantics break on copy.
+var noCopySyncTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true,
+}
+
+// Run implements lint.Analyzer.
+func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, a.checkSignature(pkg, n)...)
+				if n.Body != nil {
+					out = append(out, a.checkLockSpans(pkg, n.Body)...)
+				}
+				return true
+			case *ast.FuncLit:
+				// Literal bodies run later, under their own lock state.
+				out = append(out, a.checkLockSpans(pkg, n.Body)...)
+				return true
+			case *ast.AssignStmt:
+				out = append(out, a.checkAssignCopies(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkSignature flags receivers, parameters, and results that carry a
+// no-copy sync type by value.
+func (a *Analyzer) checkSignature(pkg *lint.Package, fn *ast.FuncDecl) []lint.Finding {
+	var out []lint.Finding
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pkg.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t) {
+				out = append(out, lint.Finding{
+					Pos:     pkg.Fset.Position(field.Type.Pos()),
+					Rule:    "mutexcheck",
+					Message: fn.Name.Name + ": " + kind + " of type " + t.String() + " copies a sync primitive by value; pass a pointer",
+				})
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	check(fn.Type.Params, "parameter")
+	check(fn.Type.Results, "result")
+	return out
+}
+
+// checkAssignCopies flags plain value assignments whose right-hand side is
+// an addressable expression of a lock-carrying type (y := x, y = *p,
+// v := m[k]); constructing a fresh value via a composite literal is fine.
+func (a *Analyzer) checkAssignCopies(pkg *lint.Package, as *ast.AssignStmt) []lint.Finding {
+	var out []lint.Finding
+	for _, rhs := range as.Rhs {
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		t := pkg.Info.Types[rhs].Type
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(t) {
+			out = append(out, lint.Finding{
+				Pos:     pkg.Fset.Position(rhs.Pos()),
+				Rule:    "mutexcheck",
+				Message: "assignment copies a value of type " + t.String() + " containing a sync primitive; use a pointer",
+			})
+		}
+	}
+	return out
+}
+
+// containsLock reports whether t transitively holds a no-copy sync type by
+// value (through named types, struct fields, and arrays; never through
+// pointers, slices, maps, or channels).
+func containsLock(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var rec func(types.Type) bool
+	rec = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		if n, ok := t.(*types.Named); ok {
+			obj := n.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && noCopySyncTypes[obj.Name()] {
+				return true
+			}
+			return rec(n.Underlying())
+		}
+		switch u := t.(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if rec(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return rec(u.Elem())
+		}
+		return false
+	}
+	return rec(t)
+}
+
+// checkLockSpans walks one function body in source order tracking which
+// lock receivers are held, and flags blocking channel sends inside a
+// Lock/Unlock span. Compound statements are entered with a copy of the
+// state (assumed lock-balanced), and a deferred Unlock keeps the lock held
+// to the end of the body.
+func (a *Analyzer) checkLockSpans(pkg *lint.Package, body *ast.BlockStmt) []lint.Finding {
+	var out []lint.Finding
+	held := make(map[string]bool)
+	a.scanStmts(pkg, body.List, held, &out)
+	return out
+}
+
+func cloneState(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func anyHeld(held map[string]bool) (string, bool) {
+	for k, v := range held {
+		if v {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func (a *Analyzer) scanStmts(pkg *lint.Package, stmts []ast.Stmt, held map[string]bool, out *[]lint.Finding) {
+	for _, s := range stmts {
+		a.scanStmt(pkg, s, held, out)
+	}
+}
+
+func (a *Analyzer) scanStmt(pkg *lint.Package, s ast.Stmt, held map[string]bool, out *[]lint.Finding) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := a.lockOp(pkg, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				held[recv] = false
+			}
+		}
+	// A DeferStmt with x.Unlock() is deliberately ignored: the deferred
+	// unlock runs at function exit, so the lock stays held for the rest
+	// of the body and sends below it are still flagged.
+	case *ast.SendStmt:
+		if recv, yes := anyHeld(held); yes {
+			*out = append(*out, lint.Finding{
+				Pos:     pkg.Fset.Position(s.Arrow),
+				Rule:    "mutexcheck",
+				Message: "channel send while holding " + recv + "; a full queue blocks with the lock held",
+			})
+		}
+	case *ast.SelectStmt:
+		a.scanSelect(pkg, s, held, out)
+	case *ast.BlockStmt:
+		a.scanStmts(pkg, s.List, cloneState(held), out)
+	case *ast.IfStmt:
+		inner := cloneState(held)
+		if s.Init != nil {
+			a.scanStmt(pkg, s.Init, inner, out)
+		}
+		a.scanStmts(pkg, s.Body.List, cloneState(inner), out)
+		if s.Else != nil {
+			a.scanStmt(pkg, s.Else, cloneState(inner), out)
+		}
+	case *ast.ForStmt:
+		inner := cloneState(held)
+		if s.Init != nil {
+			a.scanStmt(pkg, s.Init, inner, out)
+		}
+		a.scanStmts(pkg, s.Body.List, inner, out)
+	case *ast.RangeStmt:
+		a.scanStmts(pkg, s.Body.List, cloneState(held), out)
+	case *ast.LabeledStmt:
+		a.scanStmt(pkg, s.Stmt, held, out)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.scanStmts(pkg, cc.Body, cloneState(held), out)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.scanStmts(pkg, cc.Body, cloneState(held), out)
+			}
+		}
+	}
+}
+
+// scanSelect flags send clauses in a select that has no default clause
+// (with a default the select cannot block indefinitely).
+func (a *Analyzer) scanSelect(pkg *lint.Package, sel *ast.SelectStmt, held map[string]bool, out *[]lint.Finding) {
+	recv, yes := anyHeld(held)
+	hasDefault := false
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if send, isSend := cc.Comm.(*ast.SendStmt); isSend && yes && !hasDefault {
+			*out = append(*out, lint.Finding{
+				Pos:     pkg.Fset.Position(send.Arrow),
+				Rule:    "mutexcheck",
+				Message: "channel send while holding " + recv + "; a full queue blocks with the lock held",
+			})
+		}
+		a.scanStmts(pkg, cc.Body, cloneState(held), out)
+	}
+}
+
+// lockOp recognizes x.Lock() / x.RLock() / x.Unlock() / x.RUnlock() calls
+// on sync-lock-carrying receivers and returns the receiver's source text
+// and the operation name. Without type information it degrades to matching
+// by method name alone.
+func (a *Analyzer) lockOp(pkg *lint.Package, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if t := pkg.Info.Types[sel.X].Type; t != nil {
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if !isLockType(t) {
+			return "", "", false
+		}
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// isLockType reports whether t is sync.Mutex/sync.RWMutex or a type that
+// embeds or contains one by value (promoted Lock methods).
+func isLockType(t types.Type) bool {
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+		}
+	}
+	return containsLock(t)
+}

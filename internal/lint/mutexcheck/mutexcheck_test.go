@@ -1,0 +1,16 @@
+package mutexcheck_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/linttest"
+	"asterixfeeds/internal/lint/mutexcheck"
+)
+
+// TestFixture asserts the exact lock-discipline violations in the
+// mutexmod fixture: by-value mutex parameter/receiver, a dereference
+// copy, and three blocking sends under a held lock — while the pointer
+// and unlock-before-send variants stay clean.
+func TestFixture(t *testing.T) {
+	linttest.RunGolden(t, "mutexmod", mutexcheck.New())
+}

@@ -1,0 +1,118 @@
+// Package simclock keeps the simulated-cluster paths deterministic. The
+// Chapter-7 experiments only reproduce when the feed runtime
+// (internal/core) and the simulated Hyracks cluster (internal/hyracks)
+// read time and randomness through swappable hooks, so this analyzer flags
+// direct time.Now()/time.Since() calls and global math/rand draws there.
+//
+// The sanctioned escape hatch is a named indirection point: assigning the
+// function value (`var nowFunc = time.Now`) is allowed — it IS the hook —
+// while scattered call sites are violations. Seeded instances via
+// rand.New(rand.NewSource(seed)) are likewise allowed; only the
+// process-global generator is not.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"asterixfeeds/internal/lint"
+)
+
+// DefaultPackages are the determinism-critical packages.
+var DefaultPackages = []string{"internal/core", "internal/hyracks"}
+
+// clockFuncs are the time package functions that read the real clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRandFuncs are math/rand package functions that construct seeded
+// generators rather than drawing from the global one.
+var allowedRandFuncs = map[string]bool{"New": true, "NewSource": true}
+
+// Analyzer implements lint.Analyzer over the configured packages.
+type Analyzer struct {
+	// Packages are segment-boundary patterns selecting where the check
+	// applies.
+	Packages []string
+}
+
+// New returns a simclock analyzer scoped to the given package patterns,
+// defaulting to DefaultPackages.
+func New(packages []string) *Analyzer {
+	if packages == nil {
+		packages = DefaultPackages
+	}
+	return &Analyzer{Packages: packages}
+}
+
+// Name implements lint.Analyzer.
+func (*Analyzer) Name() string { return "simclock" }
+
+// Doc implements lint.Analyzer.
+func (*Analyzer) Doc() string {
+	return "simulated-cluster packages must not call time.Now/Since or the global math/rand directly"
+}
+
+// Run implements lint.Analyzer.
+func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
+	if !lint.MatchAny(a.Packages, pkg.Path) {
+		return nil
+	}
+	var out []lint.Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pkgPathOf(pkg, id) {
+			case "time":
+				if clockFuncs[sel.Sel.Name] {
+					out = append(out, lint.Finding{
+						Pos:     pkg.Fset.Position(call.Pos()),
+						Rule:    "simclock",
+						Message: "direct time." + sel.Sel.Name + "() in a simulated-cluster path; read time through the package clock hook",
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[sel.Sel.Name] {
+					out = append(out, lint.Finding{
+						Pos:     pkg.Fset.Position(call.Pos()),
+						Rule:    "simclock",
+						Message: "global rand." + sel.Sel.Name + "() in a simulated-cluster path; use a seeded *rand.Rand",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// pkgPathOf resolves an identifier to the import path of the package it
+// names, or "" when it is not a package name. It prefers type info and
+// falls back to matching the file's imports syntactically.
+func pkgPathOf(pkg *lint.Package, id *ast.Ident) string {
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return ""
+	}
+	// Syntactic fallback: an unresolved qualified identifier whose name
+	// matches a plain import of time or math/rand.
+	switch id.Name {
+	case "time":
+		return "time"
+	case "rand":
+		return "math/rand"
+	}
+	return ""
+}

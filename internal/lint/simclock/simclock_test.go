@@ -1,0 +1,16 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/linttest"
+	"asterixfeeds/internal/lint/simclock"
+)
+
+// TestFixture asserts the direct time.Now/time.Since calls and the
+// global rand draw in bad.go are flagged, while the nowFunc hook, the
+// seeded generator, and the //feedlint:allow-directive site in good.go
+// stay clean.
+func TestFixture(t *testing.T) {
+	linttest.RunGolden(t, "simclockmod", simclock.New(nil))
+}

@@ -1,0 +1,5 @@
+// Command tool exists so the fixture can demonstrate the "nothing imports
+// cmd/" rule.
+package main
+
+func main() {}

@@ -1,0 +1,3 @@
+module archmod
+
+go 1.22

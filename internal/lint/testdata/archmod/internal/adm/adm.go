@@ -1,0 +1,5 @@
+// Package adm is the fixture's bottom layer: it imports nothing internal.
+package adm
+
+// V is a placeholder value used by upper layers.
+func V() int { return 1 }

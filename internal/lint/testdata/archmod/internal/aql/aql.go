@@ -1,0 +1,12 @@
+// Package aql sits above the data model but reaches into a cmd/ binary,
+// breaking the global "nothing imports cmd/" rule.
+package aql
+
+import (
+	_ "archmod/cmd/tool"
+
+	"archmod/internal/adm"
+)
+
+// Q evaluates a fixture query.
+func Q() int { return adm.V() }

@@ -1,0 +1,12 @@
+// Package core is the fixture feed runtime; importing the query layer
+// (aql) inverts the architecture.
+package core
+
+import (
+	_ "archmod/internal/aql"
+
+	"archmod/internal/adm"
+)
+
+// Run drives a fixture pipeline.
+func Run() int { return adm.V() }

@@ -1,0 +1,8 @@
+// Package hyracks is the fixture dataflow engine; it must be
+// self-contained, so importing the feed runtime is a violation.
+package hyracks
+
+import _ "archmod/internal/core"
+
+// Schedule plans a fixture job.
+func Schedule() {}

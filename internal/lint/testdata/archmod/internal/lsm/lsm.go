@@ -1,0 +1,12 @@
+// Package lsm may import only adm; reaching up into storage is a
+// violation.
+package lsm
+
+import (
+	_ "archmod/internal/storage"
+
+	"archmod/internal/adm"
+)
+
+// Open opens a fixture tree.
+func Open() int { return adm.V() }

@@ -1,0 +1,8 @@
+// Package storage legally imports adm; it sits above lsm in the real
+// layering, and here stays clean.
+package storage
+
+import "archmod/internal/adm"
+
+// Size reports a fixture size.
+func Size() int { return adm.V() }

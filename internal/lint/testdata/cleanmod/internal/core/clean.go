@@ -1,0 +1,63 @@
+// Package core is the clean fixture: it exercises the territory of every
+// analyzer — goroutines, locks, durability calls, clocks — without
+// violating any rule, so the suite must report nothing.
+package core
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// nowFunc is the package clock hook.
+var nowFunc = time.Now
+
+// Pump moves values until its context is cancelled.
+type Pump struct {
+	mu   sync.Mutex
+	sent int
+}
+
+// Run forwards ticks to out and stops with ctx.
+func (p *Pump) Run(ctx context.Context, out chan time.Time) {
+	go func() {
+		for {
+			select {
+			case out <- nowFunc():
+				p.mu.Lock()
+				p.sent++
+				p.mu.Unlock()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// Sent reads the counter under the lock through a pointer receiver.
+func (p *Pump) Sent() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// Persist writes a record and checks every durability error.
+func Persist(path string, data []byte, seed int64) error {
+	rnd := rand.New(rand.NewSource(seed))
+	_ = rnd.Intn(10)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,31 @@
+// Package lsm is the clean fixture's durability layer: every
+// Write/Flush/Close/Sync error is handled or explicitly discarded.
+package lsm
+
+import (
+	"bufio"
+	"os"
+)
+
+// Append writes a record through a buffered writer, checking every
+// durability call.
+func Append(path string, rec []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(rec); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,3 @@
+module errdropmod
+
+go 1.22

@@ -1,0 +1,20 @@
+// Package lsm holds errdrop fixtures: durability-path errors silently
+// discarded.
+package lsm
+
+import (
+	"bufio"
+	"os"
+)
+
+// WriteAll drops the error of every durability call it makes.
+func WriteAll(f *os.File, data []byte) {
+	f.Write(data)
+	f.Sync()
+	f.Close()
+}
+
+// FlushDrop loses whatever the buffered writer had not yet written.
+func FlushDrop(w *bufio.Writer) {
+	w.Flush()
+}

@@ -1,0 +1,44 @@
+package lsm
+
+import (
+	"hash/crc32"
+	"os"
+)
+
+// Checksum writes into a hash, which contractually cannot fail.
+func Checksum(data []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(data)
+	return h.Sum32()
+}
+
+// CloseQuietly discards explicitly, which is visible and deliberate.
+func CloseQuietly(f *os.File) {
+	_ = f.Close()
+}
+
+// ReadHeader checks the errors that matter and defers Close on a
+// read-only handle, which is exempt.
+func ReadHeader(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteChecked handles every durability error.
+func WriteChecked(f *os.File, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}

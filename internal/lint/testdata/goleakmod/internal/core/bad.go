@@ -1,0 +1,21 @@
+// Package core holds goroutine-hygiene fixtures: goroutines in the
+// ingestion pipeline must carry a shutdown path.
+package core
+
+// Leak launches a goroutine with no context, done channel, or WaitGroup:
+// it spins forever after the feed disconnects.
+func Leak(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// FireAndForget is a second leak suspect: a one-shot send with nothing
+// bounding its lifetime.
+func FireAndForget(ch chan int, v int) {
+	go func() {
+		ch <- v
+	}()
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// WithContext shuts down when the feed job's context is cancelled.
+func WithContext(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// WithDone shuts down when the done channel closes.
+func WithDone(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// WithWaitGroup is tracked by its caller's WaitGroup.
+func WithWaitGroup(wg *sync.WaitGroup, ch chan int, v int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- v
+	}()
+}
+
+// WithReceive drains a work channel; the producer closing it ends the
+// goroutine.
+func WithReceive(work chan int, out chan int) {
+	go func() {
+		for v := range work {
+			out <- v
+		}
+	}()
+}

@@ -1,0 +1,3 @@
+module mutexmod
+
+go 1.22

@@ -1,0 +1,52 @@
+// Package pkg holds deliberate lock-discipline violations for the
+// mutexcheck fixture.
+package pkg
+
+import "sync"
+
+// Guarded couples a mutex with the state it protects.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue receives a mutex by value: locking the copy protects nothing.
+func ByValue(mu sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Get has a value receiver, so every call copies the embedded mutex.
+func (g Guarded) Get() int { return g.n }
+
+// Snapshot copies a lock-carrying struct through a pointer dereference.
+func Snapshot(g *Guarded) int {
+	snap := *g
+	return snap.n
+}
+
+// SendUnderLock performs a blocking send between Lock and Unlock.
+func SendUnderLock(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	ch <- g.n
+	g.mu.Unlock()
+	ch <- 0
+}
+
+// SendUnderDeferredLock holds the lock to function exit via defer, so the
+// send still happens under it.
+func SendUnderDeferredLock(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.n
+}
+
+// SelectSendUnderLock blocks in a defaultless select while locked.
+func SelectSendUnderLock(g *Guarded, ch chan int, stop chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.n:
+	case <-stop:
+	}
+}

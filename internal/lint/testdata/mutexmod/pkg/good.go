@@ -1,0 +1,33 @@
+package pkg
+
+// GetPtr reads through a pointer receiver: no copy.
+func (g *Guarded) GetPtr() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// SendAfterUnlock snapshots under the lock and sends outside it.
+func SendAfterUnlock(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	ch <- v
+}
+
+// NonBlockingSend may send while locked, but the default clause keeps the
+// select from blocking indefinitely.
+func NonBlockingSend(g *Guarded, ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.n:
+	default:
+	}
+}
+
+// NewGuarded constructs a fresh value: composite literals are not copies.
+func NewGuarded() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}

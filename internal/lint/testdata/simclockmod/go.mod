@@ -1,0 +1,3 @@
+module simclockmod
+
+go 1.22

@@ -1,0 +1,28 @@
+// Package hyracks holds simclock fixtures: the simulated cluster must
+// read time and randomness through swappable hooks.
+package hyracks
+
+import (
+	"math/rand"
+	"time"
+)
+
+// nowFunc is the sanctioned indirection point: assigning the function
+// value is allowed, scattered call sites are not.
+var nowFunc = time.Now
+
+// Beat stamps a heartbeat off the real clock directly.
+func Beat() time.Time {
+	return time.Now()
+}
+
+// Age measures against the real clock through time.Since.
+func Age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// Jitter draws from the process-global generator, so two runs of the same
+// experiment diverge.
+func Jitter() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,23 @@
+package hyracks
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads time through the package hook, so experiments can pin it.
+func Stamp() time.Time {
+	return nowFunc()
+}
+
+// Seeded draws from an explicitly seeded generator: deterministic per
+// seed, so constructing and using it is allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Sanctioned demonstrates the allow directive for a genuine exception.
+func Sanctioned() time.Time {
+	return time.Now() //feedlint:allow simclock -- wall-clock logging only
+}

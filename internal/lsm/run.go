@@ -35,7 +35,7 @@ func writeRun(path string, entries []entry) (*run, error) {
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
 	if _, err := w.Write(runMagic); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	bloom := newBloomFilter(len(entries))
@@ -50,22 +50,22 @@ func writeRun(path string, entries []entry) (*run, error) {
 		n += binary.PutUvarint(scratch[n:], uint64(len(e.key)))
 		n += binary.PutUvarint(scratch[n:], uint64(len(e.value)))
 		if _, err := w.Write(scratch[:n]); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := w.Write(e.key); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		if _, err := w.Write(e.value); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	// Trailer: bloom bytes, bloom length, entry count, magic.
 	bb := bloom.marshal()
 	if _, err := w.Write(bb); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	var trailer [20]byte
@@ -73,15 +73,15 @@ func writeRun(path string, entries []entry) (*run, error) {
 	binary.LittleEndian.PutUint64(trailer[4:], uint64(len(entries)))
 	copy(trailer[12:], runMagic)
 	if _, err := w.Write(trailer[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
@@ -98,20 +98,20 @@ func openRun(path string) (*run, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if st.Size() < int64(len(runMagic))+20 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("lsm: run %s too small", path)
 	}
 	var trailer [20]byte
 	if _, err := f.ReadAt(trailer[:], st.Size()-20); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if !bytes.Equal(trailer[12:], runMagic) {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("lsm: run %s has bad trailer magic", path)
 	}
 	bloomLen := int64(binary.LittleEndian.Uint32(trailer[0:]))
@@ -119,12 +119,12 @@ func openRun(path string) (*run, error) {
 	bloomOff := st.Size() - 20 - bloomLen
 	bb := make([]byte, bloomLen)
 	if _, err := f.ReadAt(bb, bloomOff); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	bloom := unmarshalBloom(bb)
 	if bloom == nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("lsm: run %s has corrupt bloom filter", path)
 	}
 
@@ -144,30 +144,30 @@ func openRun(path string) (*run, error) {
 	for i := uint64(0); i < count; i++ {
 		flags, err := br.ReadByte()
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("lsm: run %s truncated at entry %d", path, i)
 		}
 		pos++
 		klen, err := binary.ReadUvarint(br)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		pos += int64(uvarintLen(klen))
 		vlen, err := binary.ReadUvarint(br)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		pos += int64(uvarintLen(vlen))
 		key := make([]byte, klen)
 		if _, err := io.ReadFull(br, key); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		pos += int64(klen)
 		if _, err := br.Discard(int(vlen)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		r.keys = append(r.keys, key)
@@ -224,10 +224,15 @@ func (r *run) iter(from []byte) *runIter {
 // close releases the run's file handle.
 func (r *run) close() error { return r.f.Close() }
 
-// remove closes and deletes the run file.
+// remove closes and deletes the run file. A Close failure is reported
+// even when the removal itself succeeds: the handle may still be pinning
+// disk space the caller thinks was reclaimed.
 func (r *run) remove() error {
-	r.f.Close()
-	return os.Remove(r.path)
+	cerr := r.f.Close()
+	if err := os.Remove(r.path); err != nil {
+		return err
+	}
+	return cerr
 }
 
 // runIter iterates a run in key order.

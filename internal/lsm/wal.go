@@ -87,7 +87,7 @@ func (w *wal) sync() error {
 // close flushes and closes the WAL file.
 func (w *wal) close() error {
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	return w.f.Close()

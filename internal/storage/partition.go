@@ -40,7 +40,7 @@ func openPartition(ds *Dataset, idx int, dir string, lsmOpt lsm.Options) (*Parti
 		secOpt.Dir = filepath.Join(dir, "idx-"+ix.Name)
 		t, err := lsm.Open(secOpt)
 		if err != nil {
-			p.Close()
+			_ = p.Close()
 			return nil, err
 		}
 		p.secondaries[ix.Name] = t
