@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fmt ci
+.PHONY: build test race lint vet fmt bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,11 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# One-iteration smoke run of the write-path benchmark: proves both insert
+# paths still execute end to end without paying for a full measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=InsertPath -benchtime=1x ./internal/storage/
 
 fmt:
 	gofmt -l .

@@ -15,6 +15,9 @@ echo "feedlint: ok"
 go test ./...
 echo "test: ok"
 
+go test -run '^$' -bench=InsertPath -benchtime=1x ./internal/storage/
+echo "bench-smoke: ok"
+
 if [ "${1:-}" = "-race" ]; then
 	go test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
 	echo "race: ok"

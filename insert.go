@@ -109,7 +109,7 @@ func (r *insertSourceRuntime) Fail(err error)                 { r.out.Fail(err) 
 func (r *insertSourceRuntime) Run() error {
 	defer r.out.Close()
 	const frameCap = 128
-	f := hyracks.NewFrame(frameCap)
+	f := hyracks.GetFrame(frameCap)
 	for _, rec := range r.op.recs {
 		select {
 		case <-r.ctx.Canceled:
@@ -121,12 +121,13 @@ func (r *insertSourceRuntime) Run() error {
 			if err := r.out.NextFrame(f); err != nil {
 				return err
 			}
-			f = hyracks.NewFrame(frameCap)
+			f = hyracks.GetFrame(frameCap)
 		}
 	}
 	if f.Len() > 0 {
 		return r.out.NextFrame(f)
 	}
+	hyracks.PutFrame(f) // never handed off: safe to recycle
 	return nil
 }
 
@@ -162,12 +163,20 @@ type insertStoreRuntime struct {
 func (r *insertStoreRuntime) Open() error { return r.out.Open() }
 
 func (r *insertStoreRuntime) NextFrame(f *hyracks.Frame) error {
-	for _, rec := range f.Records {
-		if err := r.part.InsertEncoded(rec); err != nil {
-			return err
-		}
+	// Frame-at-a-time: validate, key, and batch-insert the whole frame in
+	// one pass per index (group commit). InsertFrame validates every record
+	// before mutating anything, so a bad record fails the statement without
+	// a partial prefix landing in the indexes.
+	if err := r.part.InsertFrame(f.Records); err != nil {
+		return err
 	}
-	return r.out.NextFrame(f)
+	if err := r.out.NextFrame(f); err != nil {
+		return err
+	}
+	// The insert job wires this operator as its terminal sink (out is the
+	// framework's NopWriter), so this task owns the frame at end of life.
+	hyracks.PutFrame(f)
+	return nil
 }
 
 func (r *insertStoreRuntime) Close() error   { return r.out.Close() }

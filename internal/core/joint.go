@@ -244,7 +244,12 @@ func (j *Joint) DropSubscription(subID string) {
 // frame travels inside a refcounted data bucket so that each subscriber
 // consumes at its own pace (guaranteed delivery + congestion isolation,
 // §5.4.1); with a single subscriber the bucket machinery is short-circuited.
-func (j *Joint) Deposit(f *hyracks.Frame) {
+//
+// The return value reports whether any subscription retained the frame: a
+// false return means the caller remains the frame's sole owner and may
+// recycle its header (hyracks.PutFrame) — record byte slices may still be
+// referenced downstream (spill copies, throttled sub-frames) either way.
+func (j *Joint) Deposit(f *hyracks.Frame) (retained bool) {
 	j.mu.Lock()
 	subs := make([]*Subscription, 0, len(j.subs))
 	for _, s := range j.subs {
@@ -257,13 +262,17 @@ func (j *Joint) Deposit(f *hyracks.Frame) {
 	switch len(subs) {
 	case 0:
 		// No subscribers: the data is not routed anywhere.
+		return false
 	case 1:
-		subs[0].offer(f, nil)
+		return subs[0].offer(f, nil)
 	default:
 		b := acquireBucket(f, len(subs))
 		for _, s := range subs {
-			s.offer(f, b)
+			if s.offer(f, b) {
+				retained = true
+			}
 		}
+		return retained
 	}
 }
 
@@ -379,22 +388,24 @@ func (s *Subscription) isDraining() bool {
 }
 
 // offer is the enqueue path called by Joint.Deposit; it applies the
-// ingestion policy's excess-record handling (Table 4.2).
-func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) {
+// ingestion policy's excess-record handling (Table 4.2). It reports whether
+// the subscription retained f itself — false when the frame was dropped,
+// throttled into a fresh frame, or copied to the spill file.
+func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()
 		if b != nil {
 			b.release()
 		}
-		return
+		return false
 	}
 	excess := s.backlog >= s.pol.MemoryBudgetRecords
 	var elasticCB func()
 	switch {
 	case !excess:
 		s.enqueueLocked(f, b)
-		b = nil
+		b, retained = nil, true
 	case s.pol.Discard:
 		// Drop the whole frame until the backlog clears (§7.3.3):
 		// contiguous runs of records go missing.
@@ -414,7 +425,7 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) {
 			// Spill budget exhausted (or spill error): fall back to
 			// buffering in memory, as the Basic policy would.
 			s.enqueueLocked(f, b)
-			b = nil
+			b, retained = nil, true
 		}
 	case s.pol.Throttle:
 		s.throttleLocked(f)
@@ -422,7 +433,7 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) {
 		// Basic policy: keep buffering in memory (§7.3.1). Memory
 		// growth is the caller's risk, exactly as in the paper.
 		s.enqueueLocked(f, b)
-		b = nil
+		b, retained = nil, true
 		if s.pol.Elastic {
 			elasticCB = s.onExcess
 		}
@@ -437,6 +448,7 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) {
 	if elasticCB != nil {
 		elasticCB()
 	}
+	return retained
 }
 
 // throttleLocked randomly samples a frame's records to reduce the effective

@@ -106,7 +106,7 @@ func newBatchingSink(joint *Joint, frameCap int, flushEvery time.Duration, cance
 	s := &batchingSink{
 		joint:    joint,
 		cap:      frameCap,
-		buf:      hyracks.NewFrame(frameCap),
+		buf:      hyracks.GetFrame(frameCap),
 		stopCh:   make(chan struct{}),
 		canceled: canceled,
 	}
@@ -138,11 +138,12 @@ func (s *batchingSink) Emit(rec *adm.Record) error {
 	var out *hyracks.Frame
 	if full {
 		out = s.buf
-		s.buf = hyracks.NewFrame(s.cap)
+		s.buf = hyracks.GetFrame(s.cap)
 	}
 	s.mu.Unlock()
-	if out != nil {
-		s.joint.Deposit(out)
+	if out != nil && !s.joint.Deposit(out) {
+		// No subscription kept the frame: recycle its header.
+		hyracks.PutFrame(out)
 	}
 	return nil
 }
@@ -152,11 +153,11 @@ func (s *batchingSink) flush() {
 	var out *hyracks.Frame
 	if s.buf.Len() > 0 {
 		out = s.buf
-		s.buf = hyracks.NewFrame(s.cap)
+		s.buf = hyracks.GetFrame(s.cap)
 	}
 	s.mu.Unlock()
-	if out != nil {
-		s.joint.Deposit(out)
+	if out != nil && !s.joint.Deposit(out) {
+		hyracks.PutFrame(out)
 	}
 }
 
@@ -467,12 +468,67 @@ type storeRuntime struct {
 	replica     *storage.Partition
 	replicaNode *hyracks.NodeController
 	mf          *metaFeed
+	// frameRecs/frameAcks are per-task scratch for the frame-at-a-time fast
+	// path (one task goroutine drives NextFrame, so no locking).
+	frameRecs [][]byte
+	frameAcks []uint64
 }
 
 func (r *storeRuntime) Open() error { return r.out.Open() }
 
+// storeFrame is the frame-at-a-time fast path: every record of the frame is
+// unwrapped and handed to Partition.InsertFrame as one batch per index —
+// single lock, single composite WAL record, group-committed fsync. The
+// onPersist observer needs decoded records, so connections with one
+// installed take the record path. ok=false means the frame was not stored
+// and the caller must fall back to the per-record guarded loop: InsertFrame
+// validates the whole frame before touching any tree, so a validation
+// failure leaves the partition untouched, and LSM puts are idempotent
+// upserts, so even an IO error mid-batch makes the record-path retry
+// converge to the same state.
+func (r *storeRuntime) storeFrame(f *hyracks.Frame) (ok bool, err error) {
+	conn := r.op.conn
+	recs := r.frameRecs[:0]
+	acks := r.frameAcks[:0]
+	for _, rec := range f.Records {
+		id, payload, tracked, err := unwrapRecord(rec)
+		if err != nil {
+			return false, err
+		}
+		recs = append(recs, payload)
+		if tracked {
+			acks = append(acks, id)
+		}
+	}
+	insertErr := r.part.InsertFrame(recs)
+	if insertErr == nil && r.replica != nil && r.replicaNode.Alive() {
+		insertErr = r.replica.InsertFrame(recs)
+	}
+	r.frameRecs = recs[:0]
+	r.frameAcks = acks[:0]
+	if insertErr != nil {
+		return false, nil
+	}
+	if len(recs) > 0 {
+		conn.Metrics.Persisted.Add(int64(len(recs)))
+	}
+	if len(acks) > 0 && conn.tracker != nil {
+		conn.tracker.ack(acks)
+	}
+	return true, nil
+}
+
 func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
 	conn := r.op.conn
+	if conn.storeEnabled.Load() && conn.onPersist.Load() == nil {
+		if stored, err := r.storeFrame(f); err != nil {
+			return err
+		} else if stored {
+			return r.out.NextFrame(f)
+		}
+		// Fall through: per-record insertion isolates the failing record
+		// (soft-failure semantics) instead of rejecting the whole frame.
+	}
 	var acks []uint64
 	persisted := int64(0)
 	for _, rec := range f.Records {

@@ -9,7 +9,7 @@ package lsm
 import (
 	"bytes"
 	"math/rand"
-	"sync"
+	"sort"
 )
 
 const maxSkipHeight = 12
@@ -23,14 +23,18 @@ type entry struct {
 }
 
 // memtable is an in-memory ordered map from []byte keys to values, backed by
-// a skiplist. It is not safe for concurrent use; the Tree serializes access.
+// a skiplist. It carries no lock of its own: the owning Tree serializes all
+// access through its RWMutex — mutations run under the write lock, and the
+// read-only methods (get, size, len, entries, iter) under the read lock.
+// (An earlier revision double-locked every insert with a private RWMutex;
+// the Tree's lock already provides exactly the required exclusion, so the
+// inner lock was pure overhead and was removed.)
 type memtable struct {
 	head   *skipNode
 	height int
 	rnd    *rand.Rand
 	bytes  int
 	count  int
-	mu     sync.RWMutex
 }
 
 type skipNode struct {
@@ -54,19 +58,33 @@ func (m *memtable) randomHeight() int {
 	return h
 }
 
-// put inserts or replaces key with value (or a tombstone).
-func (m *memtable) put(key, value []byte, tombstone bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var update [maxSkipHeight]*skipNode
+// seekFrom advances update to key's predecessor at every level, resuming
+// from the nodes already in update — which must precede key at their level
+// (m.head trivially qualifies). Batched sorted inserts exploit this to reuse
+// the predecessor search across adjacent keys. The descent also chains
+// levels as a plain skiplist search does: the predecessor found at level
+// l+1 seeds level l when it is ahead of the resume position, keeping each
+// seek O(log n) rather than walking every level from its resume point.
+func (m *memtable) seekFrom(key []byte, update *[maxSkipHeight]*skipNode) {
 	n := m.head
 	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		// A node present at level l+1 is present at level l too, so n is a
+		// valid start; update[lvl] may be further along from a prior seek.
+		if u := update[lvl]; u != m.head && (n == m.head || bytes.Compare(u.key, n.key) > 0) {
+			n = u
+		}
 		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, key) < 0 {
 			n = n.next[lvl]
 		}
 		update[lvl] = n
 	}
-	if nxt := n.next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
+}
+
+// insertAt inserts or replaces key at the position update describes; update
+// must have been positioned by seekFrom(key, update). After return, update
+// still holds valid predecessors for any key >= the inserted one.
+func (m *memtable) insertAt(key, value []byte, tombstone bool, update *[maxSkipHeight]*skipNode) {
+	if nxt := update[0].next[0]; nxt != nil && bytes.Equal(nxt.key, key) {
 		m.bytes += len(value) - len(nxt.value)
 		nxt.value = value
 		nxt.tombstone = tombstone
@@ -91,10 +109,40 @@ func (m *memtable) put(key, value []byte, tombstone bool) {
 	m.count++
 }
 
+// put inserts or replaces key with value (or a tombstone).
+func (m *memtable) put(key, value []byte, tombstone bool) {
+	var update [maxSkipHeight]*skipNode
+	for i := range update {
+		update[i] = m.head
+	}
+	m.seekFrom(key, &update)
+	m.insertAt(key, value, tombstone, &update)
+}
+
+// putBatch applies a batch of operations. Ops are stably sorted by key first
+// (so the last op per key in batch order wins, matching WAL replay order)
+// and inserted in ascending order, which lets each insert resume the
+// predecessor search from where the previous one ended instead of starting
+// at the head — the skiplist analogue of a sorted bulk load.
+func (m *memtable) putBatch(ops []batchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		return bytes.Compare(ops[i].key, ops[j].key) < 0
+	})
+	var update [maxSkipHeight]*skipNode
+	for i := range update {
+		update[i] = m.head
+	}
+	for _, op := range ops {
+		m.seekFrom(op.key, &update)
+		m.insertAt(op.key, op.value, op.kind == walDelete, &update)
+	}
+}
+
 // get returns the entry for key, if present (including tombstones).
 func (m *memtable) get(key []byte) (entry, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	n := m.head
 	for lvl := m.height - 1; lvl >= 0; lvl-- {
 		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, key) < 0 {
@@ -109,22 +157,16 @@ func (m *memtable) get(key []byte) (entry, bool) {
 
 // size reports the approximate byte footprint of the memtable.
 func (m *memtable) size() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.bytes
 }
 
 // len reports the number of live entries (including tombstones).
 func (m *memtable) len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	return m.count
 }
 
 // entries returns all entries in key order.
 func (m *memtable) entries() []entry {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	out := make([]entry, 0, m.count)
 	for n := m.head.next[0]; n != nil; n = n.next[0] {
 		out = append(out, n.entry)
@@ -134,8 +176,6 @@ func (m *memtable) entries() []entry {
 
 // iter returns an iterator positioned at the first key >= from.
 func (m *memtable) iter(from []byte) *memtableIter {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	n := m.head
 	for lvl := m.height - 1; lvl >= 0; lvl-- {
 		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, from) < 0 {

@@ -137,6 +137,33 @@ func (t *Tree) apply(kind walRecordKind, key, value []byte) error {
 	return nil
 }
 
+// ApplyBatch applies every operation in b under a single lock acquisition:
+// one composite WAL record (one CRC, and — per Options.SyncWAL — at most one
+// deferred fsync: group commit) followed by a sorted skiplist insertion that
+// reuses the predecessor search across adjacent keys. Operations land in the
+// memtable with the same last-writer-wins outcome as applying them in order.
+//
+// The tree takes ownership of the batch's key and value slices (see Batch);
+// the Batch itself may be Reset and reused once ApplyBatch returns.
+func (t *Tree) ApplyBatch(b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("lsm: tree closed")
+	}
+	if err := t.wal.appendBatch(b.ops); err != nil {
+		return err
+	}
+	t.mem.putBatch(b.ops)
+	if t.mem.size() >= t.opt.MemtableBytes {
+		return t.flushLocked()
+	}
+	return nil
+}
+
 // Get returns the value for key, or ok=false if absent or deleted.
 func (t *Tree) Get(key []byte) (value []byte, ok bool, err error) {
 	t.mu.RLock()

@@ -4,17 +4,24 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"os"
 )
 
-// walRecordKind distinguishes WAL record types.
+// walRecordKind distinguishes WAL record types. The kind byte doubles as a
+// format version: replay dispatches on it, so old single-mutation records
+// and newer composite batch records coexist in one log.
 type walRecordKind byte
 
 const (
 	walPut walRecordKind = iota + 1
 	walDelete
+	// walBatch is a composite record: a whole frame of mutations under one
+	// CRC, written by appendBatch. Replay applies the contained mutations in
+	// order, or none of them when the record is torn or corrupt.
+	walBatch
 )
 
 // wal is a write-ahead log: every mutation is appended (and optionally
@@ -25,9 +32,14 @@ type wal struct {
 	w    *bufio.Writer
 	path string
 	// syncEvery groups fsyncs: 0 disables syncing (tests), 1 syncs every
-	// append, n>1 syncs every n appends.
+	// append, n>1 syncs every n appends. A batch counts as a single append,
+	// so syncEvery=1 over batches is group commit: one deferred fsync per
+	// batch rather than one per record.
 	syncEvery int
 	pending   int
+	// scratch is the reusable encoding buffer for batch records, so the
+	// steady-state batch path does not allocate per append.
+	scratch []byte
 }
 
 // openWAL opens (creating if needed) the WAL at path for appending.
@@ -75,6 +87,46 @@ func (w *wal) append(kind walRecordKind, key, value []byte) error {
 	return nil
 }
 
+// appendBatch writes every op as one composite record:
+//
+//	crc32(le u32) kind=walBatch(1) count(uvarint)
+//	  { opkind(1) klen(uvarint) vlen(uvarint) key value }*
+//
+// The CRC covers the entire body, so a torn tail invalidates the batch as a
+// unit and replay drops it atomically. The batch counts as a single append
+// toward syncEvery: group commit defers (at most) one fsync to the end of
+// the batch instead of paying one per record.
+func (w *wal) appendBatch(ops []batchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	body := w.scratch[:0]
+	body = append(body, byte(walBatch))
+	body = binary.AppendUvarint(body, uint64(len(ops)))
+	for _, op := range ops {
+		body = append(body, byte(op.kind))
+		body = binary.AppendUvarint(body, uint64(len(op.key)))
+		body = binary.AppendUvarint(body, uint64(len(op.value)))
+		body = append(body, op.key...)
+		body = append(body, op.value...)
+	}
+	w.scratch = body[:0]
+
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(body))
+	if _, err := w.w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	w.pending++
+	if w.syncEvery > 0 && w.pending >= w.syncEvery {
+		return w.sync()
+	}
+	return nil
+}
+
 // sync flushes buffered records and fsyncs the file.
 func (w *wal) sync() error {
 	w.pending = 0
@@ -105,9 +157,63 @@ func (w *wal) truncate() error {
 	return err
 }
 
+// teeByteReader feeds every byte it reads into a CRC, so replay can verify
+// records without re-encoding their headers.
+type teeByteReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (t *teeByteReader) ReadByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	var buf [1]byte
+	buf[0] = b
+	t.crc.Write(buf[:])
+	return b, nil
+}
+
+func (t *teeByteReader) readFull(p []byte) error {
+	if _, err := io.ReadFull(t.r, p); err != nil {
+		return err
+	}
+	t.crc.Write(p)
+	return nil
+}
+
+// readMutation parses one klen/vlen/key/value mutation body (the kind byte
+// has already been consumed).
+func (t *teeByteReader) readMutation() (key, value []byte, ok bool) {
+	klen, err := binary.ReadUvarint(t)
+	if err != nil {
+		return nil, nil, false
+	}
+	vlen, err := binary.ReadUvarint(t)
+	if err != nil {
+		return nil, nil, false
+	}
+	if klen > 1<<30 || vlen > 1<<30 {
+		return nil, nil, false // corrupt length: treat as torn tail
+	}
+	key = make([]byte, klen)
+	if err := t.readFull(key); err != nil {
+		return nil, nil, false
+	}
+	value = make([]byte, vlen)
+	if err := t.readFull(value); err != nil {
+		return nil, nil, false
+	}
+	return key, value, true
+}
+
 // replayWAL reads records from the WAL at path, invoking fn for each valid
-// record. A torn or corrupt tail terminates replay without error, matching
-// standard WAL semantics.
+// mutation in log order. Single-mutation records (walPut/walDelete) and
+// composite batch records (walBatch) may be interleaved; a batch replays
+// atomically — all of its mutations or, when torn or corrupt, none. A torn
+// or corrupt tail terminates replay without error, matching standard WAL
+// semantics.
 func replayWAL(path string, fn func(kind walRecordKind, key, value []byte) error) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -124,45 +230,60 @@ func replayWAL(path string, fn func(kind walRecordKind, key, value []byte) error
 			return nil // clean EOF or torn tail
 		}
 		wantCRC := binary.LittleEndian.Uint32(crcBuf[:])
+		tee := &teeByteReader{r: r, crc: crc32.NewIEEE()}
 
-		kindB, err := r.ReadByte()
+		kindB, err := tee.ReadByte()
 		if err != nil {
 			return nil
 		}
-		klen, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil
-		}
-		vlen, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil
-		}
-		if klen > 1<<30 || vlen > 1<<30 {
-			return nil // corrupt length: treat as torn tail
-		}
-		key := make([]byte, klen)
-		if _, err := io.ReadFull(r, key); err != nil {
-			return nil
-		}
-		value := make([]byte, vlen)
-		if _, err := io.ReadFull(r, value); err != nil {
-			return nil
-		}
-
-		var hdr [1 + 2*binary.MaxVarintLen32]byte
-		hdr[0] = kindB
-		n := 1
-		n += binary.PutUvarint(hdr[n:], klen)
-		n += binary.PutUvarint(hdr[n:], vlen)
-		crc := crc32.NewIEEE()
-		crc.Write(hdr[:n])
-		crc.Write(key)
-		crc.Write(value)
-		if crc.Sum32() != wantCRC {
-			return nil // corrupt record: stop replay here
-		}
-		if err := fn(walRecordKind(kindB), key, value); err != nil {
-			return err
+		switch walRecordKind(kindB) {
+		case walPut, walDelete:
+			key, value, ok := tee.readMutation()
+			if !ok {
+				return nil
+			}
+			if tee.crc.Sum32() != wantCRC {
+				return nil // corrupt record: stop replay here
+			}
+			if err := fn(walRecordKind(kindB), key, value); err != nil {
+				return err
+			}
+		case walBatch:
+			count, err := binary.ReadUvarint(tee)
+			if err != nil || count > 1<<24 {
+				return nil
+			}
+			type mutation struct {
+				kind       walRecordKind
+				key, value []byte
+			}
+			muts := make([]mutation, 0, count)
+			torn := false
+			for i := uint64(0); i < count; i++ {
+				opB, err := tee.ReadByte()
+				if err != nil || (walRecordKind(opB) != walPut && walRecordKind(opB) != walDelete) {
+					torn = true
+					break
+				}
+				key, value, ok := tee.readMutation()
+				if !ok {
+					torn = true
+					break
+				}
+				muts = append(muts, mutation{walRecordKind(opB), key, value})
+			}
+			// A torn or corrupt batch is dropped as a unit: no partial
+			// application of a group commit.
+			if torn || tee.crc.Sum32() != wantCRC {
+				return nil
+			}
+			for _, m := range muts {
+				if err := fn(m.kind, m.key, m.value); err != nil {
+					return err
+				}
+			}
+		default:
+			return nil // unknown kind: corrupt tail
 		}
 	}
 }

@@ -1,0 +1,293 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func TestApplyBatchBasic(t *testing.T) {
+	tr := openTest(t, Options{})
+	b := NewBatch(4)
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	b.Put([]byte("c"), []byte("3"))
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tr.Get([]byte("a")); ok {
+		t.Fatal("delete inside batch did not win over earlier put")
+	}
+	for k, want := range map[string]string{"b": "2", "c": "3"} {
+		v, ok, err := tr.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v, %v; want %q", k, v, ok, err, want)
+		}
+	}
+	// The batch is reusable after Reset.
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.Put([]byte("d"), []byte("4"))
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tr.Get([]byte("d")); !ok || string(v) != "4" {
+		t.Fatalf("Get(d) after reused batch = %q, %v", v, ok)
+	}
+}
+
+func TestApplyBatchDuplicateKeyLastWins(t *testing.T) {
+	tr := openTest(t, Options{})
+	b := NewBatch(3)
+	b.Put([]byte("x"), []byte("1"))
+	b.Put([]byte("x"), []byte("2"))
+	b.Put([]byte("x"), []byte("3"))
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tr.Get([]byte("x")); !ok || string(v) != "3" {
+		t.Fatalf("Get(x) = %q, %v; want last writer 3", v, ok)
+	}
+}
+
+// TestWALBatchRecovery crashes a tree after a batch commit and verifies the
+// composite WAL record replays the whole batch.
+func TestWALBatchRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(64)
+	for i := 0; i < 64; i++ {
+		b.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Delete([]byte("k007"))
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: flush OS buffers, close handles, skip memtable flush.
+	tr.mu.Lock()
+	tr.wal.w.Flush()
+	tr.wal.f.Close()
+	tr.mu.Unlock()
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok, _ := re.Get([]byte("k063")); !ok || string(v) != "v63" {
+		t.Fatalf("recovered Get(k063) = %q, %v", v, ok)
+	}
+	if _, ok, _ := re.Get([]byte("k007")); ok {
+		t.Fatal("recovery resurrected key deleted within the batch")
+	}
+	if n, _ := re.Len(); n != 63 {
+		t.Fatalf("recovered Len = %d, want 63", n)
+	}
+}
+
+// TestWALBatchTornTailAtomic truncates the WAL at every byte offset inside a
+// batch record and verifies recovery drops the batch as a unit — the record
+// before it always survives, and no partial prefix of the batch ever
+// applies.
+func TestWALBatchTornTailAtomic(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("pre"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	preEnd := walSize(t, dir)
+
+	tr, err = Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(3)
+	b.Put([]byte("batch-a"), []byte("aa"))
+	b.Put([]byte("batch-b"), []byte("bb"))
+	b.Delete([]byte("pre"))
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) <= preEnd {
+		t.Fatalf("batch record added no bytes (wal %d, prefix %d)", len(full), preEnd)
+	}
+
+	for cut := preEnd; cut < int64(len(full)); cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, "wal.log"), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(Options{Dir: cutDir})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if v, ok, _ := re.Get([]byte("pre")); !ok || string(v) != "1" {
+			t.Fatalf("cut %d: record before torn batch lost (got %q, %v)", cut, v, ok)
+		}
+		for _, k := range []string{"batch-a", "batch-b"} {
+			if _, ok, _ := re.Get([]byte(k)); ok {
+				t.Fatalf("cut %d: torn batch partially applied (%s present)", cut, k)
+			}
+		}
+		re.Close()
+	}
+
+	// The intact file replays the batch in full, including the delete.
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.Get([]byte("pre")); ok {
+		t.Fatal("batch delete of pre not replayed")
+	}
+	for k, want := range map[string]string{"batch-a": "aa", "batch-b": "bb"} {
+		if v, ok, _ := re.Get([]byte(k)); !ok || string(v) != want {
+			t.Fatalf("intact replay Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+}
+
+// TestWALBatchCorruptCRCDropped flips one byte inside a committed batch
+// record and verifies replay rejects the whole batch.
+func TestWALBatchCorruptCRCDropped(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Put([]byte("pre"), []byte("1"))
+	b := NewBatch(2)
+	b.Put([]byte("ba"), []byte("x"))
+	b.Put([]byte("bb"), []byte("y"))
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt the batch's last value byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok, _ := re.Get([]byte("pre")); !ok || string(v) != "1" {
+		t.Fatalf("record before corrupt batch lost (got %q, %v)", v, ok)
+	}
+	for _, k := range []string{"ba", "bb"} {
+		if _, ok, _ := re.Get([]byte(k)); ok {
+			t.Fatalf("corrupt batch partially applied (%s present)", k)
+		}
+	}
+}
+
+// TestWALMixedRecordKindsReplayInOrder interleaves old single-mutation
+// records with composite batch records and verifies recovery applies them in
+// log order (last writer wins across kinds).
+func TestWALMixedRecordKindsReplayInOrder(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1. old-kind put
+	tr.Put([]byte("a"), []byte("old"))
+	tr.Put([]byte("gone"), []byte("x"))
+	// 2. batch overwrites a, creates b
+	b1 := NewBatch(2)
+	b1.Put([]byte("a"), []byte("batched"))
+	b1.Put([]byte("b"), []byte("1"))
+	if err := tr.ApplyBatch(b1); err != nil {
+		t.Fatal(err)
+	}
+	// 3. old-kind delete between batches
+	tr.Delete([]byte("gone"))
+	// 4. second batch overwrites b, resurrects nothing
+	b2 := NewBatch(2)
+	b2.Put([]byte("b"), []byte("2"))
+	b2.Delete([]byte("a"))
+	if err := tr.ApplyBatch(b2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without flushing the memtable.
+	tr.mu.Lock()
+	tr.wal.w.Flush()
+	tr.wal.f.Close()
+	tr.mu.Unlock()
+
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, ok, _ := re.Get([]byte("a")); ok {
+		t.Fatal("batch delete after old-kind put not replayed in order")
+	}
+	if _, ok, _ := re.Get([]byte("gone")); ok {
+		t.Fatal("old-kind delete between batches not replayed in order")
+	}
+	if v, ok, _ := re.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatalf("Get(b) = %q, %v; want later batch to win", v, ok)
+	}
+	if n, _ := re.Len(); n != 1 {
+		t.Fatalf("recovered Len = %d, want 1", n)
+	}
+}
+
+// TestWALBatchGroupCommitSyncs verifies a batch counts as one append toward
+// syncEvery: with SyncWAL=1, one ApplyBatch leaves nothing pending (the
+// deferred group-commit fsync ran), regardless of batch size.
+func TestWALBatchGroupCommitSyncs(t *testing.T) {
+	tr := openTest(t, Options{SyncWAL: 1})
+	b := NewBatch(100)
+	for i := 0; i < 100; i++ {
+		b.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	if err := tr.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	tr.mu.Lock()
+	pending := tr.wal.pending
+	tr.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("wal.pending = %d after synced batch, want 0 (one deferred fsync per batch)", pending)
+	}
+}

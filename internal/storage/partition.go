@@ -23,6 +23,53 @@ type Partition struct {
 	secondaries map[string]*lsm.Tree
 	inserted    int64
 	closed      bool
+	frame       frameScratch // reusable InsertFrame state, guarded by mu
+}
+
+// encFieldRef is one (name, encoded value) pair captured while scanning a
+// serialized record; both slices alias the record's bytes.
+type encFieldRef struct {
+	name, enc []byte
+}
+
+// frameScratch is per-partition scratch reused across InsertFrame calls so
+// the steady-state frame path allocates only what the memtable retains
+// (keys, batch growth) — not per-call bookkeeping.
+type frameScratch struct {
+	fields  []encFieldRef  // field scan of the current record
+	pks     [][]byte       // per-record encoded primary key
+	skeys   [][]byte       // per-record secondary keys, flattened nIdx per record
+	pending map[string]int // pk -> latest record index within this frame
+	prim    *lsm.Batch
+	sec     []*lsm.Batch // parallel to ds.Indexes
+}
+
+// release drops references retained from the last frame (the memtable now
+// owns the key slices) while keeping slice capacity for the next call.
+func (fs *frameScratch) release() {
+	for i := range fs.fields {
+		fs.fields[i] = encFieldRef{}
+	}
+	fs.fields = fs.fields[:0]
+	for i := range fs.pks {
+		fs.pks[i] = nil
+	}
+	fs.pks = fs.pks[:0]
+	for i := range fs.skeys {
+		fs.skeys[i] = nil
+	}
+	fs.skeys = fs.skeys[:0]
+	for k := range fs.pending {
+		delete(fs.pending, k)
+	}
+	if fs.prim != nil {
+		fs.prim.Reset()
+	}
+	for _, b := range fs.sec {
+		if b != nil {
+			b.Reset()
+		}
+	}
 }
 
 // openPartition opens (creating if needed) partition idx of ds under dir.
@@ -58,6 +105,27 @@ func (p *Partition) Dataset() *Dataset { return p.ds }
 // index, and updates every secondary index. The write is atomic at record
 // level: the primary WAL entry precedes index maintenance.
 func (p *Partition) Insert(rec *adm.Record) error {
+	return p.insertRecord(rec, adm.Encode(rec))
+}
+
+// InsertEncoded inserts a serialized record. The record is decoded for
+// validation and key extraction, but the original bytes are stored as-is —
+// no re-encode round trip.
+func (p *Partition) InsertEncoded(rec []byte) error {
+	v, err := adm.DecodeOne(rec)
+	if err != nil {
+		return err
+	}
+	r, ok := v.(*adm.Record)
+	if !ok {
+		return fmt.Errorf("storage: encoded value is %s, want record", v.Tag())
+	}
+	return p.insertRecord(r, rec)
+}
+
+// insertRecord is the shared record-at-a-time write path: val must be the
+// serialized form of rec and is stored without copying.
+func (p *Partition) insertRecord(rec *adm.Record, val []byte) error {
 	if err := p.ds.Type.Validate(rec); err != nil {
 		return err
 	}
@@ -65,7 +133,6 @@ func (p *Partition) Insert(rec *adm.Record) error {
 	if err != nil {
 		return err
 	}
-	val := adm.Encode(rec)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -100,17 +167,184 @@ func (p *Partition) Insert(rec *adm.Record) error {
 	return nil
 }
 
-// InsertEncoded decodes and inserts a serialized record.
-func (p *Partition) InsertEncoded(rec []byte) error {
-	v, err := adm.DecodeOne(rec)
-	if err != nil {
+// InsertFrame inserts a whole frame of serialized records as one batched
+// write per index: every record is validated and keyed straight from its
+// bytes (no decode, no re-encode), then the primary tree and each secondary
+// tree receive a single lsm.Batch — one lock acquisition, one composite WAL
+// record, and at most one fsync per tree for the entire frame (group
+// commit).
+//
+// Validation and key extraction complete for the whole frame before any
+// tree is touched, so a validation error leaves the partition unmodified.
+// Within a frame, a later record with the same primary key replaces an
+// earlier one, exactly as two sequential Inserts would. The partition
+// retains the record byte slices; callers recycling frame buffers must not
+// reuse the record bytes afterwards (see hyracks.PutFrame).
+func (p *Partition) InsertFrame(recs [][]byte) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("storage: partition closed")
+	}
+	fs := &p.frame
+	defer fs.release()
+	nIdx := len(p.ds.Indexes)
+
+	// Phase A: validate every record and derive all keys, mutating nothing.
+	for _, rec := range recs {
+		if err := p.ds.Type.ValidateEncoded(rec); err != nil {
+			return err
+		}
+		fs.fields = fs.fields[:0]
+		if _, err := adm.ScanRecordFields(rec, func(name, enc []byte) bool {
+			fs.fields = append(fs.fields, encFieldRef{name: name, enc: enc})
+			return true
+		}); err != nil {
+			return err
+		}
+		pk, err := primaryKeyFromFields(p.ds, fs.fields)
+		if err != nil {
+			return err
+		}
+		fs.pks = append(fs.pks, pk)
+		for _, ix := range p.ds.Indexes {
+			skey, ok, err := secondaryKeyEncoded(ix, findField(fs.fields, ix.Field), pk)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				skey = nil
+			}
+			fs.skeys = append(fs.skeys, skey)
+		}
+	}
+
+	// Phase B: build one batch per tree and apply them.
+	if fs.prim == nil {
+		fs.prim = lsm.NewBatch(len(recs))
+		fs.pending = make(map[string]int, len(recs))
+	}
+	for len(fs.sec) < nIdx {
+		fs.sec = append(fs.sec, lsm.NewBatch(len(recs)))
+	}
+	for i, rec := range recs {
+		pk := fs.pks[i]
+		if prev, dup := fs.pending[string(pk)]; dup {
+			// An earlier record in this frame used the same key: unhook the
+			// secondary entries it queued. Batch order makes the later Put
+			// win when old and new keys coincide.
+			for j := 0; j < nIdx; j++ {
+				if old := fs.skeys[prev*nIdx+j]; old != nil {
+					fs.sec[j].Delete(old)
+				}
+			}
+		} else if old, found, err := p.primary.Get(pk); err != nil {
+			return err
+		} else if found {
+			// Replacing a stored record: unhook its old secondary entries.
+			v, err := adm.DecodeOne(old)
+			if err != nil {
+				return err
+			}
+			oldRec, ok := v.(*adm.Record)
+			if !ok {
+				return fmt.Errorf("storage: stored value is not a record")
+			}
+			for j, ix := range p.ds.Indexes {
+				skey, present, err := secondaryKey(ix, oldRec, pk)
+				if err != nil {
+					return err
+				}
+				if present {
+					fs.sec[j].Delete(skey)
+				}
+			}
+		}
+		fs.pending[string(pk)] = i
+		fs.prim.Put(pk, rec)
+		for j := 0; j < nIdx; j++ {
+			if skey := fs.skeys[i*nIdx+j]; skey != nil {
+				fs.sec[j].Put(skey, pk)
+			}
+		}
+	}
+	if err := p.primary.ApplyBatch(fs.prim); err != nil {
 		return err
 	}
-	r, ok := v.(*adm.Record)
-	if !ok {
-		return fmt.Errorf("storage: encoded value is %s, want record", v.Tag())
+	for j, ix := range p.ds.Indexes {
+		if err := p.secondaries[ix.Name].ApplyBatch(fs.sec[j]); err != nil {
+			return err
+		}
 	}
-	return p.Insert(r)
+	p.inserted += int64(len(recs))
+	return nil
+}
+
+// findField returns the encoded value of the named field from a scanned
+// field list, or nil when absent.
+func findField(fields []encFieldRef, name string) []byte {
+	for _, f := range fields {
+		if string(f.name) == name {
+			return f.enc
+		}
+	}
+	return nil
+}
+
+// primaryKeyFromFields concatenates the raw encoded primary key fields —
+// byte-identical to Dataset.PrimaryKeyOf on the decoded record, since the
+// encoding is canonical.
+func primaryKeyFromFields(ds *Dataset, fields []encFieldRef) ([]byte, error) {
+	total := 0
+	for _, f := range ds.PrimaryKey {
+		enc := findField(fields, f)
+		if enc == nil || adm.TypeTag(enc[0]) == adm.TagMissing || adm.TypeTag(enc[0]) == adm.TagNull {
+			return nil, fmt.Errorf("storage: record lacks primary key field %q", f)
+		}
+		total += len(enc)
+	}
+	pk := make([]byte, 0, total)
+	for _, f := range ds.PrimaryKey {
+		pk = append(pk, findField(fields, f)...)
+	}
+	return pk, nil
+}
+
+// secondaryKeyEncoded builds the same key as secondaryKey, but from the
+// field's encoded bytes instead of a decoded value. ok=false means the
+// field is absent/null and the record is simply not indexed.
+func secondaryKeyEncoded(ix IndexDecl, encField, pk []byte) (key []byte, ok bool, err error) {
+	if len(encField) == 0 {
+		return nil, false, nil
+	}
+	tag := adm.TypeTag(encField[0])
+	if tag == adm.TagNull || tag == adm.TagMissing {
+		return nil, false, nil
+	}
+	switch ix.Kind {
+	case BTree:
+		key = make([]byte, 0, len(encField)+len(pk))
+		key = append(key, encField...)
+	case RTree:
+		if tag != adm.TagPoint || len(encField) < 17 {
+			return nil, false, fmt.Errorf("storage: rtree index %q over non-point value %s", ix.Name, tag)
+		}
+		pt := adm.Point{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(encField[1:9])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(encField[9:17])),
+		}
+		key = cellPrefix(cellOf(pt))
+		var buf [16]byte
+		binary.BigEndian.PutUint64(buf[0:], math.Float64bits(pt.X))
+		binary.BigEndian.PutUint64(buf[8:], math.Float64bits(pt.Y))
+		key = append(key, buf[:]...)
+	default:
+		return nil, false, fmt.Errorf("storage: unknown index kind %d", ix.Kind)
+	}
+	return append(key, pk...), true, nil
 }
 
 // Delete removes the record with the given primary key fields.
