@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fmt bench-smoke ci
+.PHONY: build test race lint vet fmt bench-smoke chaos-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,19 @@ vet:
 # paths still execute end to end without paying for a full measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=InsertPath -benchtime=1x ./internal/storage/
+
+# Chaos smoke: a 50-seed fault-injection sweep with the deterministic
+# harness (internal/chaos). Every seed generates a fault schedule; the
+# invariant checkers (at-least-once, index consistency, replica
+# convergence, WAL replay idempotence) must hold under all of them.
+# Failures print a `feedchaos -seed N -replay '...'` repro line.
+chaos-smoke:
+	$(GO) run ./cmd/feedchaos -seeds 50 -records 150
+
+# Full chaos sweep: more seeds, full-size workloads. Not part of tier-1;
+# run before cutting a release or after touching recovery/replay code.
+chaos:
+	$(GO) run ./cmd/feedchaos -seeds 500 -records 300
 
 fmt:
 	gofmt -l .

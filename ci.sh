@@ -18,7 +18,13 @@ echo "test: ok"
 go test -run '^$' -bench=InsertPath -benchtime=1x ./internal/storage/
 echo "bench-smoke: ok"
 
+go run ./cmd/feedchaos -seeds 50 -records 150
+echo "chaos-smoke: ok"
+
 if [ "${1:-}" = "-race" ]; then
 	go test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
+	# End-to-end replication and restart tests: the promotion/resync and
+	# recovery paths are the most concurrency-sensitive in the stack.
+	go test -race -short -run '(?i)replicat|Restart|FeedMaintains' .
 	echo "race: ok"
 fi

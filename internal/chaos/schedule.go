@@ -1,0 +1,72 @@
+package chaos
+
+import "math/rand"
+
+// The scenario topology is fixed (see runner.go): nodes A (intake), B and C
+// (store), dataset "Chaos" on nodegroup [B, C] with synchronous replication
+// and a secondary index country_idx. Partition 0 lives on B (dir p000) with
+// its replica on C (dir r000); partition 1 lives on C (dir p001) with its
+// replica on B (dir r001).
+//
+// GenSchedule draws from a menu of fault candidates keyed to that topology.
+// At most one "killer" fault (node death via frame kill or torn WAL write)
+// is armed per schedule: the 3-node cluster cannot lose two of its store
+// nodes and still satisfy any delivery invariant, and the point of the
+// harness is to find bugs in recovery, not to prove that total cluster loss
+// loses data.
+//
+// No "core:resync:insert" fault appears in the menu: after promotion
+// rewrites the nodegroup, ReplicaOf(i) equals the promoted node itself, so
+// the natural promotion path records a degradation instead of copying and
+// the point never fires. The copy path is covered directly by
+// core/recovery_resync_test.go.
+
+type candidate struct {
+	point  string
+	action Action
+	// maxHit bounds the armed hit count: the fault fires somewhere in the
+	// first maxHit occurrences of the point, chosen by the seed.
+	maxHit int
+}
+
+var killerMenu = []candidate{
+	{"frame:B:Store", ActKill, 6},
+	{"frame:C:Store", ActKill, 6},
+	{"lsm:B/p000/primary/wal.appendBatch", ActTorn, 6},
+	{"lsm:C/p001/primary/wal.appendBatch", ActTorn, 6},
+}
+
+var benignMenu = []candidate{
+	{"lsm:B/p000/primary/wal.appendBatch", ActErr, 8},
+	{"lsm:C/p001/primary/wal.appendBatch", ActErr, 8},
+	{"lsm:B/p000/primary/wal.sync", ActErr, 8},
+	{"lsm:C/p001/primary/wal.sync", ActErr, 8},
+	{"lsm:C/r000/primary/wal.appendBatch", ActErr, 8},
+	{"lsm:B/r001/primary/wal.appendBatch", ActErr, 8},
+	{"lsm:B/p000/country_idx/wal.appendBatch", ActErr, 8},
+	{"lsm:C/p001/country_idx/wal.appendBatch", ActErr, 8},
+	{"core:ack:B", ActErr, 5},
+	{"core:ack:C", ActErr, 5},
+	{"frame:B:Store", ActStall, 8},
+	{"frame:C:Store", ActStall, 8},
+	{"adaptor:p0", ActCrash, 40},
+}
+
+// GenSchedule derives a fault schedule purely from the seed: zero to two
+// benign faults plus, with probability ~1/2, one killer fault. The same
+// seed always yields the same schedule.
+func GenSchedule(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var s Schedule
+	pick := func(menu []candidate) Fault {
+		c := menu[rng.Intn(len(menu))]
+		return Fault{Point: c.point, Hit: 1 + rng.Intn(c.maxHit), Action: c.action}
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		s = append(s, pick(benignMenu))
+	}
+	if rng.Intn(2) == 0 {
+		s = append(s, pick(killerMenu))
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package chaos
+
+// Shrink greedily minimizes a failing scenario's fault schedule: it tries
+// dropping each armed fault in turn, keeps any drop after which the
+// scenario still fails, and iterates to a fixpoint. The result is a
+// 1-minimal schedule — removing any single remaining fault makes the run
+// pass — which is usually the whole story of the bug. report, when non-nil,
+// observes each probe.
+func Shrink(sc Scenario, report func(attempt Schedule, failed bool)) (Schedule, error) {
+	cur := sc.Schedule
+	if cur == nil {
+		cur = GenSchedule(sc.Seed)
+	}
+	failsWithout := func(s Schedule) (bool, error) {
+		probe := sc
+		probe.Schedule = s
+		res, err := Run(probe)
+		if err != nil {
+			return false, err
+		}
+		failed := !res.Passed()
+		if report != nil {
+			report(s, failed)
+		}
+		return failed, nil
+	}
+	for changed := true; changed && len(cur) > 1; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			trial := make(Schedule, 0, len(cur)-1)
+			trial = append(trial, cur[:i]...)
+			trial = append(trial, cur[i+1:]...)
+			failed, err := failsWithout(trial)
+			if err != nil {
+				return cur, err
+			}
+			if failed {
+				cur = trial
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur, nil
+}

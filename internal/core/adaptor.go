@@ -183,7 +183,9 @@ func (a *socketAdaptor) stream(sink RecordSink, stop <-chan struct{}) error {
 	go func() {
 		select {
 		case <-stop:
-			conn.Close()
+			// Best-effort unblock of the read loop; the deferred Close
+			// already races with this one, so its error carries no signal.
+			_ = conn.Close()
 		case <-done:
 		}
 	}()

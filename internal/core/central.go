@@ -24,6 +24,12 @@ type Options struct {
 	FrameCapacity int
 	// ElasticInterval is how often elastic connections are evaluated.
 	ElasticInterval time.Duration
+	// FaultHook, when non-nil, is consulted at the feed manager's own
+	// failure points ("ack:<node>" before ack delivery, "resync:insert"
+	// per record during replica re-sync). A non-nil return injects that
+	// failure. Only fault-injection harnesses set this (see
+	// internal/chaos).
+	FaultHook func(point string) error
 }
 
 func (o Options) withDefaults() Options {
@@ -462,7 +468,7 @@ func (m *Manager) startTailLocked(conn *Connection) error {
 	}
 	dsHash := conn.ds.KeyHashFunc()
 	keyHash := func(rec []byte) uint64 { return dsHash(payloadOf(rec)) }
-	store := spec.AddOperator(&storeOp{conn: conn, ds: conn.ds, cluster: m.cluster}, hyracks.LocationConstraint(conn.ds.NodeGroup...))
+	store := spec.AddOperator(&storeOp{conn: conn, ds: conn.ds, cluster: m.cluster, fault: m.opt.FaultHook}, hyracks.LocationConstraint(conn.ds.NodeGroup...))
 	spec.Connect(prev, store, hyracks.MToNHashPartition, keyHash)
 
 	job, err := m.cluster.StartJob(spec)

@@ -62,6 +62,11 @@ type ConnMetrics struct {
 	Persisted *metrics.WindowedCounter
 	// SoftFailures counts records skipped due to runtime exceptions.
 	SoftFailures metrics.Counter
+	// StoreErrors counts environmental store failures (WAL write, fsync,
+	// replica IO — not the record's fault). Unlike soft failures these
+	// records are NOT acknowledged: the at-least-once protocol replays
+	// them until the store succeeds.
+	StoreErrors metrics.Counter
 	// Replayed counts at-least-once replays.
 	Replayed metrics.Counter
 	// IngestionLatency samples record latency from intake to store.
@@ -132,6 +137,10 @@ type Connection struct {
 	// recoveries records the duration of each completed hard-failure
 	// repair (failure detection through pipeline re-scheduling).
 	recoveries []time.Duration
+	// resyncDegraded records replica re-sync attempts that were abandoned
+	// (no live target, missing storage manager, or a copy failure that
+	// survived the retry): the partition keeps serving but unreplicated.
+	resyncDegraded []string
 }
 
 // ID returns the connection id ("feed -> dataset").
@@ -188,6 +197,20 @@ func (c *Connection) Recoveries() []time.Duration {
 func (c *Connection) recordRecovery(d time.Duration) {
 	c.mu.Lock()
 	c.recoveries = append(c.recoveries, d)
+	c.mu.Unlock()
+}
+
+// ResyncDegradations lists replica re-syncs that recovery had to abandon,
+// leaving the named partition unreplicated until the next repair.
+func (c *Connection) ResyncDegradations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.resyncDegraded...)
+}
+
+func (c *Connection) recordResyncDegradation(msg string) {
+	c.mu.Lock()
+	c.resyncDegraded = append(c.resyncDegraded, msg)
 	c.mu.Unlock()
 }
 

@@ -548,6 +548,20 @@ func (s *Subscription) replenishFromSpillLocked() {
 	}
 }
 
+// requeue returns a dequeued frame to the head of the queue. An intake that
+// is canceled between dequeuing a frame and handing it downstream calls this
+// so the frame stays in the parked subscription state a re-attached intake
+// adopts (the "zombie" adoption of §6.2.2) — records that were never tracked
+// have no replay covering them, so dropping the frame here would lose them.
+func (s *Subscription) requeue(f *hyracks.Frame) {
+	s.mu.Lock()
+	s.frames = append([]*hyracks.Frame{f}, s.frames...)
+	s.buckets = append([]*dataBucket{nil}, s.buckets...)
+	s.arrived = append([]time.Time{nowFunc()}, s.arrived...)
+	s.backlog += f.Len()
+	s.mu.Unlock()
+}
+
 // Backlog reports the in-memory backlog in records.
 func (s *Subscription) Backlog() int {
 	s.mu.Lock()

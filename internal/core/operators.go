@@ -229,8 +229,13 @@ func (r *intakeRuntime) Run() error {
 			select {
 			case frames <- f:
 			case <-r.ctx.Canceled:
+				// The frame is already out of the subscription queue but
+				// not yet handed downstream: put it back so the adopted
+				// subscription still holds it for the next intake.
+				sub.requeue(f)
 				return
 			case <-pumpDone:
+				sub.requeue(f)
 				return
 			}
 		}
@@ -258,7 +263,11 @@ func (r *intakeRuntime) Run() error {
 		select {
 		case f, ok := <-frames:
 			if !ok {
-				return nil // drained after disconnect, or canceled
+				// Upstream closed gracefully (disconnect drain, or the
+				// adaptor's source is exhausted). Tracked records may still
+				// be awaiting acknowledgment — closing the pipeline now
+				// would orphan their replays and break at-least-once.
+				return r.drainPendingReplays(replay)
 			}
 			out := f
 			if conn.tracker != nil {
@@ -281,6 +290,35 @@ func (r *intakeRuntime) Run() error {
 			return nil
 		}
 	}
+}
+
+// drainPendingReplays keeps the intake→store path open after the upstream
+// source closed, servicing ack-timeout replays until no tracked record is
+// pending. Without this, a record lost downstream (node death, dropped ack)
+// near the end of the stream would be replayed into a pipeline that no
+// longer exists and silently dropped once it exceeded its replay budget.
+// Termination is bounded: every pending record is either acked or dropped
+// by the sweeper after maxReplays attempts.
+func (r *intakeRuntime) drainPendingReplays(replay <-chan *hyracks.Frame) error {
+	conn := r.op.conn
+	if conn.tracker == nil {
+		return nil
+	}
+	for conn.tracker.pendingCount() > 0 {
+		select {
+		case f := <-replay:
+			conn.Metrics.Replayed.Add(int64(f.Len()))
+			if err := r.out.NextFrame(f); err != nil {
+				return nil
+			}
+		case <-r.ctx.Canceled:
+			return nil
+		case <-time.After(5 * time.Millisecond):
+			// Re-check: acks may have arrived, or another partition's
+			// records may be the only ones left pending.
+		}
+	}
+	return nil
 }
 
 func spillDir(ctx *hyracks.TaskContext) string {
@@ -419,6 +457,9 @@ type storeOp struct {
 	// cluster resolves replica nodes' storage managers when the dataset
 	// is replicated (the §9.2.2 extension).
 	cluster *hyracks.Cluster
+	// fault is the manager's injection hook (Options.FaultHook); consulted
+	// as "ack:<node>" before each grouped ack delivery. Nil in production.
+	fault func(point string) error
 }
 
 // Name implements hyracks.OperatorDescriptor.
@@ -512,10 +553,26 @@ func (r *storeRuntime) storeFrame(f *hyracks.Frame) (ok bool, err error) {
 	if len(recs) > 0 {
 		conn.Metrics.Persisted.Add(int64(len(recs)))
 	}
-	if len(acks) > 0 && conn.tracker != nil {
-		conn.tracker.ack(acks)
-	}
+	r.deliverAcks(acks)
 	return true, nil
+}
+
+// deliverAcks sends one grouped ack message for this frame (§5.6's windowed
+// encoding). An injected "ack:<node>" fault models the ack message being
+// lost in transit: the records are stored but stay tracked, so the sweeper
+// replays them and the idempotent upsert absorbs the duplicates — the
+// at-least-once guarantee must hold regardless.
+func (r *storeRuntime) deliverAcks(acks []uint64) {
+	conn := r.op.conn
+	if len(acks) == 0 || conn.tracker == nil {
+		return
+	}
+	if r.op.fault != nil {
+		if err := r.op.fault("ack:" + r.ctx.NodeID); err != nil {
+			return // ack message dropped
+		}
+	}
+	conn.tracker.ack(acks)
 }
 
 func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
@@ -545,6 +602,7 @@ func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
 			continue
 		}
 		var inserted *adm.Record
+		var envErr error
 		skipped, fatal := r.mf.guard(payload, func() error {
 			v, err := adm.DecodeOne(payload)
 			if err != nil {
@@ -555,12 +613,18 @@ func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
 				return fmt.Errorf("store: value is %s, want record", v.Tag())
 			}
 			if err := r.part.Insert(recVal); err != nil {
+				if !storage.IsDataError(err) {
+					envErr = err
+				}
 				return err
 			}
 			// Synchronous replication: mirror the insert to the replica
 			// partition (the in-process stand-in for a replication RPC).
 			if r.replica != nil && r.replicaNode.Alive() {
 				if err := r.replica.Insert(recVal); err != nil {
+					if !storage.IsDataError(err) {
+						envErr = err
+					}
 					return err
 				}
 			}
@@ -571,6 +635,14 @@ func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
 			return fatal
 		}
 		if skipped {
+			if envErr != nil {
+				// Environmental failure (WAL write, fsync, replica IO): not
+				// the record's fault, so acking it as a soft failure would
+				// silently lose it. Leave it un-acked — the at-least-once
+				// sweeper replays it and the idempotent upsert converges.
+				conn.Metrics.StoreErrors.Add(1)
+				continue
+			}
 			conn.Metrics.SoftFailures.Add(1)
 			// A soft-failed record is still acknowledged: at-least-once
 			// covers loss, not unprocessable input.
@@ -591,9 +663,7 @@ func (r *storeRuntime) NextFrame(f *hyracks.Frame) error {
 		conn.Metrics.Persisted.Add(persisted)
 	}
 	// Group this frame's acks into one message (§5.6's windowed encoding).
-	if len(acks) > 0 && conn.tracker != nil {
-		conn.tracker.ack(acks)
-	}
+	r.deliverAcks(acks)
 	return r.out.NextFrame(f)
 }
 

@@ -240,7 +240,7 @@ func (m *Manager) promoteReplicasLocked(conn *Connection) error {
 		ds.NodeGroup[i] = replicaNode
 		// Re-establish the replication factor: copy the promoted
 		// partition into a fresh replica on the next live member.
-		if err := m.resyncReplicaLocked(ds, i); err != nil {
+		if err := m.resyncReplicaLocked(conn, ds, i); err != nil {
 			return err
 		}
 	}
@@ -249,34 +249,74 @@ func (m *Manager) promoteReplicasLocked(conn *Connection) error {
 
 // resyncReplicaLocked copies partition i's promoted contents to its new
 // replica location (the in-process stand-in for replica bootstrap).
-func (m *Manager) resyncReplicaLocked(ds *storage.Dataset, i int) error {
+//
+// Failure handling: a missing replica target or storage manager is recorded
+// as a degradation on the connection (the partition keeps serving, but
+// unreplicated) instead of silently returning nil; a partial copy discards
+// the torn replica directory and retries once from scratch; a second
+// failure discards again and degrades. A replica that diverged from its
+// primary is worse than no replica — a later promotion would serve it as
+// truth — so the torn copy must never be left behind.
+func (m *Manager) resyncReplicaLocked(conn *Connection, ds *storage.Dataset, i int) error {
 	newReplica := ds.ReplicaOf(i)
 	if newReplica == "" || newReplica == ds.NodeGroup[i] {
+		conn.recordResyncDegradation(fmt.Sprintf("partition %d: no distinct replica target", i))
 		return nil
 	}
 	rn := m.cluster.Node(newReplica)
 	if rn == nil || !rn.Alive() {
-		return nil // degraded: no live replica target
+		conn.recordResyncDegradation(fmt.Sprintf("partition %d: replica target %s down", i, newReplica))
+		return nil
 	}
 	srcNode := m.cluster.Node(ds.NodeGroup[i])
 	if srcNode == nil {
-		return nil
+		return fmt.Errorf("core: promoted node %s unknown to cluster", ds.NodeGroup[i])
 	}
 	srcSM, _ := srcNode.Service(storage.ServiceName).(*storage.Manager)
+	if srcSM == nil {
+		return fmt.Errorf("core: promoted node %s has no storage manager", ds.NodeGroup[i])
+	}
 	dstSM, _ := rn.Service(storage.ServiceName).(*storage.Manager)
-	if srcSM == nil || dstSM == nil {
-		return nil
+	if dstSM == nil {
+		return fmt.Errorf("core: replica target %s has no storage manager", newReplica)
 	}
 	src, err := srcSM.OpenPartitionIdx(ds, i, false)
 	if err != nil {
 		return err
 	}
+	const attempts = 2
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		lastErr = m.copyToReplica(src, dstSM, ds, i)
+		if lastErr == nil {
+			return nil
+		}
+		// Discard the partial copy so the retry (or a later repair)
+		// starts from an empty tree rather than a torn one.
+		if rmErr := dstSM.RemovePartitionIdx(ds, i, true); rmErr != nil {
+			return fmt.Errorf("core: discarding partial replica: %v (after copy error: %w)", rmErr, lastErr)
+		}
+	}
+	conn.recordResyncDegradation(fmt.Sprintf("partition %d: resync to %s abandoned after %d attempts: %v", i, newReplica, attempts, lastErr))
+	return nil
+}
+
+// copyToReplica scans src into a freshly opened replica partition on dstSM.
+// The "resync:insert" fault point lets a harness interrupt the copy
+// mid-stream.
+func (m *Manager) copyToReplica(src *storage.Partition, dstSM *storage.Manager, ds *storage.Dataset, i int) error {
 	dst, err := dstSM.OpenPartitionIdx(ds, i, true)
 	if err != nil {
 		return err
 	}
 	var copyErr error
-	err = src.Scan(func(rec *adm.Record) bool {
+	scanErr := src.Scan(func(rec *adm.Record) bool {
+		if m.opt.FaultHook != nil {
+			if err := m.opt.FaultHook("resync:insert"); err != nil {
+				copyErr = err
+				return false
+			}
+		}
 		if err := dst.Insert(rec); err != nil {
 			copyErr = err
 			return false
@@ -286,7 +326,7 @@ func (m *Manager) resyncReplicaLocked(ds *storage.Dataset, i int) error {
 	if copyErr != nil {
 		return copyErr
 	}
-	return err
+	return scanErr
 }
 
 // anyDeadLocked reports whether any listed node is currently down.

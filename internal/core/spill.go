@@ -123,10 +123,19 @@ func (s *spillFile) reset() error {
 // pending reports the number of spilled frames awaiting replay.
 func (s *spillFile) pending() int { return s.frames }
 
-// close releases and deletes the spill file.
+// close releases and deletes the spill file. The file is removed regardless
+// of flush/close outcome, but those errors still surface: a failing flush
+// here means the spill backlog was already silently incomplete.
 func (s *spillFile) close() error {
-	s.w.Flush()
+	flushErr := s.w.Flush()
 	path := s.f.Name()
-	s.f.Close()
-	return os.Remove(path)
+	closeErr := s.f.Close()
+	rmErr := os.Remove(path)
+	if flushErr != nil {
+		return flushErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	return rmErr
 }

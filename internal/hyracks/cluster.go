@@ -31,6 +31,13 @@ type Config struct {
 	// and failure detection, letting deterministic experiments drive
 	// time explicitly.
 	Clock func() time.Time
+	// FrameFault, when non-nil, runs at every consumer frame boundary —
+	// after a task dequeues a frame, before the operator sees it — with
+	// the hosting node's ID and the operator's name. Only fault-injection
+	// harnesses set this (see internal/chaos): the hook may stall the
+	// task or kill the node; node liveness is rechecked after it returns
+	// so an injected kill lands exactly on the frame boundary.
+	FrameFault func(node, op string, f *Frame)
 }
 
 func (c Config) withDefaults() Config {

@@ -458,7 +458,7 @@ func (c *Cluster) StartJob(spec *JobSpec) (*JobHandle, error) {
 				}
 				closeCancel(r)
 			}()
-			err := c.runTask(j, r.rt, r.in, r.node, r.cancel)
+			err := c.runTask(j, r.rt, r.in, r.node, r.cancel, spec.ops[r.opID].desc.Name())
 			if err != nil && !errors.Is(err, ErrJobCanceled) {
 				j.fail(fmt.Errorf("%s[%d] on %s: %w",
 					spec.ops[r.opID].desc.Name(), r.part, r.node.ID(), err))
@@ -508,7 +508,7 @@ func isClosed(ch <-chan struct{}) bool {
 }
 
 // runTask drives one operator task to completion.
-func (c *Cluster) runTask(j *JobHandle, rt OperatorRuntime, in *inQueue, node *NodeController, cancel chan struct{}) error {
+func (c *Cluster) runTask(j *JobHandle, rt OperatorRuntime, in *inQueue, node *NodeController, cancel chan struct{}, opName string) error {
 	if src, ok := rt.(SourceRuntime); ok && in == nil {
 		if err := rt.Open(); err != nil {
 			return err
@@ -526,6 +526,15 @@ func (c *Cluster) runTask(j *JobHandle, rt OperatorRuntime, in *inQueue, node *N
 		case f, ok := <-in.ch:
 			if !ok {
 				return rt.Close()
+			}
+			if ff := c.cfg.FrameFault; ff != nil {
+				ff(node.ID(), opName, f)
+				// The hook may have killed this node: recheck liveness so
+				// the injected death lands exactly on the frame boundary,
+				// before the operator sees the frame.
+				if isClosed(node.dead) {
+					return fmt.Errorf("%w: %s", ErrNodeFailure, node.ID())
+				}
 			}
 			if err := rt.NextFrame(f); err != nil {
 				rt.Fail(err)

@@ -47,6 +47,7 @@ var DefaultRules = []Rule{
 	{Pkg: "internal/metrics", Allow: []string{}},
 	{Pkg: "internal/metadata", Allow: []string{"internal/adm", "internal/lsm", "internal/storage"}},
 	{Pkg: "internal/core", Deny: []string{"internal/aql", "internal/experiments"}},
+	{Pkg: "internal/chaos", Deny: []string{"internal/aql", "internal/experiments"}},
 	{Pkg: "*", Deny: []string{"cmd"}},
 }
 

@@ -1,8 +1,8 @@
 // Package errdrop flags silently discarded error results from
-// Write/Flush/Close/Sync calls in the persistence layers (internal/lsm and
-// internal/storage). A dropped error on those paths is a silent
-// WAL-or-disk-loss bug: the record looks durable but never reached stable
-// storage. An error must be handled or explicitly discarded with `_ =`;
+// Write/Flush/Close/Sync calls in the durability-critical layers
+// (internal/lsm, internal/storage, and internal/core). A dropped error on
+// those paths is a silent WAL-or-disk-loss bug: the record looks durable
+// but never reached stable storage. An error must be handled or explicitly discarded with `_ =`;
 // deferred calls are exempt (Go offers no ergonomic way to propagate
 // them, and the hot paths check errors on the in-line calls).
 package errdrop
@@ -15,8 +15,11 @@ import (
 	"asterixfeeds/internal/lint"
 )
 
-// DefaultPackages are the durability-critical packages.
-var DefaultPackages = []string{"internal/lsm", "internal/storage"}
+// DefaultPackages are the durability-critical packages. internal/core is
+// included because the feed tail owns the ack/replay protocol: a dropped
+// Close/Sync error there can silently break the at-least-once guarantee
+// (the feedchaos harness found exactly that class of bug).
+var DefaultPackages = []string{"internal/lsm", "internal/storage", "internal/core"}
 
 // checkedMethods are the durability-relevant method names.
 var checkedMethods = map[string]bool{

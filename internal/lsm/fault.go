@@ -1,0 +1,33 @@
+package lsm
+
+import "errors"
+
+// FaultHook is consulted at named failure points inside the storage engine
+// ("wal.append", "wal.appendBatch", "wal.sync", "wal.truncate"). A nil return
+// lets the operation proceed; a non-nil return is injected as that
+// operation's outcome. Hooks exist for fault-injection harnesses (see
+// internal/chaos); production code never installs one.
+//
+// Two sentinel errors get special treatment:
+//
+//   - ErrInjected (or any other plain error) fails the operation cleanly,
+//     before any bytes reach the log — a transient environmental failure
+//     (ENOSPC, EIO on fsync). The tree remains usable.
+//   - ErrTornWrite makes the WAL write a strict prefix of the encoded record
+//     and then wedges the log (every later append returns ErrWALBroken) —
+//     modelling a crash mid-write. The on-disk tail is torn exactly the way
+//     replay's CRC check expects, and the tree must be abandoned and
+//     reopened, as a crashed node's would be.
+type FaultHook func(op string) error
+
+var (
+	// ErrInjected is a clean injected failure: the operation fails before
+	// mutating anything.
+	ErrInjected = errors.New("lsm: injected fault")
+	// ErrTornWrite instructs the WAL to persist a torn (prefix-only) record
+	// and wedge itself, simulating a crash mid-write.
+	ErrTornWrite = errors.New("lsm: injected torn write")
+	// ErrWALBroken is returned by every WAL operation after a torn write has
+	// wedged the log. The owning tree must be discarded and reopened.
+	ErrWALBroken = errors.New("lsm: wal broken by torn write")
+)

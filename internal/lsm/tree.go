@@ -20,6 +20,9 @@ type Options struct {
 	// SyncWAL groups WAL fsyncs: 0 disables syncing (fastest, used by
 	// experiments), 1 syncs every write (durable), n syncs every n writes.
 	SyncWAL int
+	// FaultHook, when non-nil, is consulted at the tree's WAL failure
+	// points. Only fault-injection harnesses set this; see FaultHook.
+	FaultHook FaultHook
 }
 
 func (o Options) withDefaults() Options {
@@ -101,7 +104,7 @@ func Open(opt Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(walPath, opt.SyncWAL)
+	w, err := openWAL(walPath, opt.SyncWAL, opt.FaultHook)
 	if err != nil {
 		return nil, err
 	}

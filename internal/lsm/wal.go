@@ -3,6 +3,7 @@ package lsm
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -40,21 +41,47 @@ type wal struct {
 	// scratch is the reusable encoding buffer for batch records, so the
 	// steady-state batch path does not allocate per append.
 	scratch []byte
+	// fault, when non-nil, is consulted before every append/sync/truncate;
+	// see FaultHook. broken wedges the log after an injected torn write.
+	fault  FaultHook
+	broken bool
 }
 
 // openWAL opens (creating if needed) the WAL at path for appending.
-func openWAL(path string, syncEvery int) (*wal, error) {
+func openWAL(path string, syncEvery int, fault FaultHook) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery}, nil
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery, fault: fault}, nil
+}
+
+// tearWrite persists a strict prefix of record (the complete encoded bytes
+// of one WAL record, CRC included), flushes it to the OS, and wedges the
+// log: the on-disk tail now looks exactly like a crash mid-write, and every
+// later operation on this WAL reports ErrWALBroken.
+func (w *wal) tearWrite(record []byte) error {
+	w.broken = true
+	n := len(record) / 2
+	if n == 0 {
+		n = 1
+	}
+	if _, err := w.w.Write(record[:n]); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return ErrTornWrite
 }
 
 // append writes one record:
 //
 //	crc32(le u32) kind(1) klen(uvarint) vlen(uvarint) key value
 func (w *wal) append(kind walRecordKind, key, value []byte) error {
+	if w.broken {
+		return ErrWALBroken
+	}
 	var hdr [1 + 2*binary.MaxVarintLen32]byte
 	hdr[0] = byte(kind)
 	n := 1
@@ -68,6 +95,19 @@ func (w *wal) append(kind walRecordKind, key, value []byte) error {
 
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+	if w.fault != nil {
+		if err := w.fault("wal.append"); err != nil {
+			if errors.Is(err, ErrTornWrite) {
+				rec := make([]byte, 0, 4+n+len(key)+len(value))
+				rec = append(rec, crcBuf[:]...)
+				rec = append(rec, hdr[:n]...)
+				rec = append(rec, key...)
+				rec = append(rec, value...)
+				return w.tearWrite(rec)
+			}
+			return err
+		}
+	}
 	if _, err := w.w.Write(crcBuf[:]); err != nil {
 		return err
 	}
@@ -100,6 +140,9 @@ func (w *wal) appendBatch(ops []batchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	if w.broken {
+		return ErrWALBroken
+	}
 	body := w.scratch[:0]
 	body = append(body, byte(walBatch))
 	body = binary.AppendUvarint(body, uint64(len(ops)))
@@ -114,6 +157,17 @@ func (w *wal) appendBatch(ops []batchOp) error {
 
 	var crcBuf [4]byte
 	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(body))
+	if w.fault != nil {
+		if err := w.fault("wal.appendBatch"); err != nil {
+			if errors.Is(err, ErrTornWrite) {
+				rec := make([]byte, 0, 4+len(body))
+				rec = append(rec, crcBuf[:]...)
+				rec = append(rec, body...)
+				return w.tearWrite(rec)
+			}
+			return err
+		}
+	}
 	if _, err := w.w.Write(crcBuf[:]); err != nil {
 		return err
 	}
@@ -129,6 +183,11 @@ func (w *wal) appendBatch(ops []batchOp) error {
 
 // sync flushes buffered records and fsyncs the file.
 func (w *wal) sync() error {
+	if w.fault != nil {
+		if err := w.fault("wal.sync"); err != nil {
+			return err
+		}
+	}
 	w.pending = 0
 	if err := w.w.Flush(); err != nil {
 		return err
@@ -147,6 +206,14 @@ func (w *wal) close() error {
 
 // truncate resets the WAL after a flush has made its contents redundant.
 func (w *wal) truncate() error {
+	if w.broken {
+		return ErrWALBroken
+	}
+	if w.fault != nil {
+		if err := w.fault("wal.truncate"); err != nil {
+			return err
+		}
+	}
 	if err := w.w.Flush(); err != nil {
 		return err
 	}

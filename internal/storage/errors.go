@@ -1,0 +1,28 @@
+package storage
+
+import "errors"
+
+// DataError marks a failure caused by the record itself — validation,
+// malformed encoding, a missing primary key — rather than by the
+// environment (WAL write, fsync, node state). Ingestion policy treats the
+// two differently: a data error is a soft failure (log, skip, ack under
+// the feed's soft-failure policy) while an environmental error must leave
+// the record un-acked so the at-least-once protocol replays it.
+type DataError struct{ Err error }
+
+func (e *DataError) Error() string { return e.Err.Error() }
+func (e *DataError) Unwrap() error { return e.Err }
+
+// dataErr wraps err as a DataError; nil stays nil.
+func dataErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &DataError{Err: err}
+}
+
+// IsDataError reports whether err is (or wraps) a DataError.
+func IsDataError(err error) bool {
+	var de *DataError
+	return errors.As(err, &de)
+}

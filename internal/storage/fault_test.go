@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/lsm"
+)
+
+// frameOf encodes n sequential tweet records as a frame.
+func frameOf(start, n int) [][]byte {
+	recs := make([][]byte, 0, n)
+	for i := start; i < start+n; i++ {
+		rec := tweetRec(fmt.Sprintf("t%04d", i), fmt.Sprintf("user%d", i%7), &adm.Point{X: float64(i % 90), Y: float64(i % 45)})
+		recs = append(recs, adm.Encode(rec))
+	}
+	return recs
+}
+
+// TestDataErrorClassification: record-caused failures are DataErrors,
+// injected environmental failures are not.
+func TestDataErrorClassification(t *testing.T) {
+	ds := testDataset()
+	fire := false
+	m := NewManager("A", t.TempDir(), lsm.Options{FaultHook: func(op string) error {
+		if fire && strings.HasSuffix(op, "wal.append") {
+			return lsm.ErrInjected
+		}
+		return nil
+	}})
+	defer m.Close()
+	p, err := m.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := (&adm.RecordBuilder{}).Add("id", adm.String("x")).MustBuild()
+	if err := p.Insert(bad); !IsDataError(err) {
+		t.Fatalf("validation failure = %v, want DataError", err)
+	}
+	if err := p.InsertFrame([][]byte{adm.Encode(bad)}); !IsDataError(err) {
+		t.Fatalf("frame validation failure = %v, want DataError", err)
+	}
+
+	fire = true
+	if err := p.Insert(tweetRec("t1", "u", nil)); err == nil || IsDataError(err) {
+		t.Fatalf("injected WAL failure = %v, want non-data error", err)
+	}
+}
+
+// TestInsertFrameFaultFallbackNoLossNoPhantoms is the PR 2 fast-path
+// failure test: a frame whose batched insert dies on an environmental
+// fault is retried record-at-a-time (exactly what storeRuntime's guarded
+// fallback does), and the partition ends with every record exactly once —
+// none lost, none phantom, secondaries consistent.
+func TestInsertFrameFaultFallbackNoLossNoPhantoms(t *testing.T) {
+	ds := testDataset()
+	armed := false
+	fired := 0
+	m := NewManager("A", t.TempDir(), lsm.Options{FaultHook: func(op string) error {
+		if armed && strings.HasSuffix(op, "primary/wal.appendBatch") {
+			armed = false
+			fired++
+			return lsm.ErrInjected
+		}
+		return nil
+	}})
+	defer m.Close()
+	p, err := m.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := p.InsertFrame(frameOf(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	armed = true
+	frame := frameOf(10, 10)
+	if err := p.InsertFrame(frame); err == nil || IsDataError(err) {
+		t.Fatalf("InsertFrame under fault = %v, want environmental error", err)
+	}
+	if fired != 1 {
+		t.Fatalf("fault fired %d times, want 1", fired)
+	}
+	// The guarded fallback: per-record retry of the same frame.
+	for _, rec := range frame {
+		if err := p.InsertEncoded(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := p.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("Count = %d, want 20 (no loss, no phantoms)", n)
+	}
+	if err := p.VerifyIndexes(); err != nil {
+		t.Fatalf("index consistency after fallback: %v", err)
+	}
+}
+
+// TestInsertFrameTornPrimaryRecovery kills the primary WAL mid-frame with a
+// torn write — the crash-mid-InsertFrame case. The node is "dead" (the
+// wedged tree refuses writes); reopening from disk must replay every frame
+// before the torn one and drop the torn batch atomically, with secondaries
+// agreeing (primary batch precedes secondary batches, so a torn primary
+// means no secondary writes for that frame).
+func TestInsertFrameTornPrimaryRecovery(t *testing.T) {
+	ds := testDataset()
+	dir := t.TempDir()
+	frameNo := 0
+	m := NewManager("A", dir, lsm.Options{FaultHook: func(op string) error {
+		if strings.HasSuffix(op, "primary/wal.appendBatch") {
+			frameNo++
+			if frameNo == 3 {
+				return lsm.ErrTornWrite
+			}
+		}
+		return nil
+	}})
+	p, err := m.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := p.InsertFrame(frameOf(i*8, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.InsertFrame(frameOf(16, 8)); !errors.Is(err, lsm.ErrTornWrite) {
+		t.Fatalf("InsertFrame mid-crash = %v, want ErrTornWrite", err)
+	}
+	// The tree is wedged exactly like a crashed node's.
+	if err := p.InsertFrame(frameOf(24, 8)); !errors.Is(err, lsm.ErrWALBroken) {
+		t.Fatalf("InsertFrame after crash = %v, want ErrWALBroken", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: reopen the node's storage from disk and replay.
+	re := NewManager("A", dir, lsm.Options{})
+	defer re.Close()
+	rp, err := re.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := rp.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("recovered %d records, want the 16 from whole frames (torn frame dropped atomically)", n)
+	}
+	if err := rp.VerifyIndexes(); err != nil {
+		t.Fatalf("index consistency after replay: %v", err)
+	}
+	// Replaying the lost frame (what at-least-once does for un-acked
+	// records) converges idempotently.
+	if err := rp.InsertFrame(frameOf(16, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.InsertFrame(frameOf(8, 8)); err != nil { // duplicate frame: upsert
+		t.Fatal(err)
+	}
+	if n, _ = rp.Count(); n != 24 {
+		t.Fatalf("after replay Count = %d, want 24", n)
+	}
+	if err := rp.VerifyIndexes(); err != nil {
+		t.Fatalf("index consistency after replay+retry: %v", err)
+	}
+}
+
+// TestInsertFrameTornSecondaryRecovery tears the WAL of a secondary tree
+// mid-frame instead: on replay the primary holds the frame but the
+// secondary dropped its torn batch — re-inserting the frame (the replay of
+// un-acked records) must restore full index consistency.
+func TestInsertFrameTornSecondaryRecovery(t *testing.T) {
+	ds := testDataset()
+	dir := t.TempDir()
+	hits := 0
+	m := NewManager("A", dir, lsm.Options{FaultHook: func(op string) error {
+		if strings.HasSuffix(op, "userIdx/wal.appendBatch") {
+			hits++
+			if hits == 2 {
+				return lsm.ErrTornWrite
+			}
+		}
+		return nil
+	}})
+	p, err := m.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertFrame(frameOf(0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertFrame(frameOf(6, 6)); !errors.Is(err, lsm.ErrTornWrite) {
+		t.Fatalf("InsertFrame = %v, want ErrTornWrite", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := NewManager("A", dir, lsm.Options{})
+	defer re.Close()
+	rp, err := re.OpenPartition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary has 12 records, userIdx only 6: divergence VerifyIndexes must
+	// catch...
+	if err := rp.VerifyIndexes(); err == nil {
+		t.Fatal("VerifyIndexes missed a torn secondary")
+	}
+	// ...and replaying the un-acked frame must repair.
+	if err := rp.InsertFrame(frameOf(6, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.VerifyIndexes(); err != nil {
+		t.Fatalf("index consistency after replay: %v", err)
+	}
+	if n, _ := rp.Count(); n != 12 {
+		t.Fatalf("Count = %d, want 12", n)
+	}
+}
+
+// TestRemovePartitionIdx: a discarded replica's directory is gone and a
+// reopened partition starts empty.
+func TestRemovePartitionIdx(t *testing.T) {
+	ds := testDataset("A", "B")
+	m := NewManager("B", t.TempDir(), lsm.Options{})
+	defer m.Close()
+	p, err := m.OpenPartitionIdx(ds, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(tweetRec("t1", "u", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemovePartitionIdx(ds, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PartitionIdx(ds.QualifiedName(), 0); got != nil {
+		t.Fatal("removed partition still registered")
+	}
+	re, err := m.OpenPartitionIdx(ds, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := re.Count(); n != 0 {
+		t.Fatalf("reopened partition has %d records, want 0 (directory removed)", n)
+	}
+}

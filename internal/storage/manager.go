@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 
@@ -126,6 +127,34 @@ func keyDataset(key string) string {
 		}
 	}
 	return key
+}
+
+// RemovePartitionIdx closes, forgets, and deletes from disk partition idx of
+// ds on this node (replica selects the replica directory, mirroring
+// OpenPartitionIdx). Recovery uses it to discard a partially-resynced
+// replica copy so a retry starts from an empty tree instead of a torn one.
+// Removing a partition that is not open just deletes its directory.
+func (m *Manager) RemovePartitionIdx(ds *Dataset, idx int, replica bool) error {
+	key := partKey(ds.QualifiedName(), idx)
+	m.mu.Lock()
+	p := m.partitions[key]
+	delete(m.partitions, key)
+	m.mu.Unlock()
+	var first error
+	if p != nil {
+		if err := p.Close(); err != nil {
+			first = err
+		}
+	}
+	prefix := "p"
+	if replica {
+		prefix = "r"
+	}
+	dir := filepath.Join(m.dir, ds.dirName(), fmt.Sprintf("%s%03d", prefix, idx))
+	if err := os.RemoveAll(dir); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // DropPartition closes and forgets every partition of the dataset hosted on

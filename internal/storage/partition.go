@@ -73,10 +73,15 @@ func (fs *frameScratch) release() {
 }
 
 // openPartition opens (creating if needed) partition idx of ds under dir.
+// When lsmOpt carries a FaultHook, each tree's failure points are prefixed
+// with "<partition-dir>/<tree>/" (e.g. "p001/primary/wal.appendBatch") so a
+// fault-injection harness can target one tree of one partition.
 func openPartition(ds *Dataset, idx int, dir string, lsmOpt lsm.Options) (*Partition, error) {
 	p := &Partition{ds: ds, idx: idx, secondaries: make(map[string]*lsm.Tree)}
+	label := filepath.Base(dir)
 	primOpt := lsmOpt
 	primOpt.Dir = filepath.Join(dir, "primary")
+	primOpt.FaultHook = prefixHook(lsmOpt.FaultHook, label+"/primary/")
 	primary, err := lsm.Open(primOpt)
 	if err != nil {
 		return nil, err
@@ -85,6 +90,7 @@ func openPartition(ds *Dataset, idx int, dir string, lsmOpt lsm.Options) (*Parti
 	for _, ix := range ds.Indexes {
 		secOpt := lsmOpt
 		secOpt.Dir = filepath.Join(dir, "idx-"+ix.Name)
+		secOpt.FaultHook = prefixHook(lsmOpt.FaultHook, label+"/"+ix.Name+"/")
 		t, err := lsm.Open(secOpt)
 		if err != nil {
 			_ = p.Close()
@@ -93,6 +99,15 @@ func openPartition(ds *Dataset, idx int, dir string, lsmOpt lsm.Options) (*Parti
 		p.secondaries[ix.Name] = t
 	}
 	return p, nil
+}
+
+// prefixHook narrows a manager-wide fault hook to one tree by prefixing
+// every failure-point name.
+func prefixHook(h lsm.FaultHook, prefix string) lsm.FaultHook {
+	if h == nil {
+		return nil
+	}
+	return func(op string) error { return h(prefix + op) }
 }
 
 // Index reports this partition's index within the nodegroup.
@@ -114,11 +129,11 @@ func (p *Partition) Insert(rec *adm.Record) error {
 func (p *Partition) InsertEncoded(rec []byte) error {
 	v, err := adm.DecodeOne(rec)
 	if err != nil {
-		return err
+		return dataErr(err)
 	}
 	r, ok := v.(*adm.Record)
 	if !ok {
-		return fmt.Errorf("storage: encoded value is %s, want record", v.Tag())
+		return dataErr(fmt.Errorf("storage: encoded value is %s, want record", v.Tag()))
 	}
 	return p.insertRecord(r, rec)
 }
@@ -127,11 +142,11 @@ func (p *Partition) InsertEncoded(rec []byte) error {
 // serialized form of rec and is stored without copying.
 func (p *Partition) insertRecord(rec *adm.Record, val []byte) error {
 	if err := p.ds.Type.Validate(rec); err != nil {
-		return err
+		return dataErr(err)
 	}
 	pk, err := p.ds.PrimaryKeyOf(rec)
 	if err != nil {
-		return err
+		return dataErr(err)
 	}
 
 	p.mu.Lock()
@@ -154,7 +169,7 @@ func (p *Partition) insertRecord(rec *adm.Record, val []byte) error {
 	for _, ix := range p.ds.Indexes {
 		skey, ok, err := secondaryKey(ix, rec, pk)
 		if err != nil {
-			return err
+			return dataErr(err)
 		}
 		if !ok {
 			continue // absent optional field: not indexed
@@ -194,26 +209,28 @@ func (p *Partition) InsertFrame(recs [][]byte) error {
 	nIdx := len(p.ds.Indexes)
 
 	// Phase A: validate every record and derive all keys, mutating nothing.
+	// Failures here are data errors: caused by the frame's bytes, with the
+	// partition untouched.
 	for _, rec := range recs {
 		if err := p.ds.Type.ValidateEncoded(rec); err != nil {
-			return err
+			return dataErr(err)
 		}
 		fs.fields = fs.fields[:0]
 		if _, err := adm.ScanRecordFields(rec, func(name, enc []byte) bool {
 			fs.fields = append(fs.fields, encFieldRef{name: name, enc: enc})
 			return true
 		}); err != nil {
-			return err
+			return dataErr(err)
 		}
 		pk, err := primaryKeyFromFields(p.ds, fs.fields)
 		if err != nil {
-			return err
+			return dataErr(err)
 		}
 		fs.pks = append(fs.pks, pk)
 		for _, ix := range p.ds.Indexes {
 			skey, ok, err := secondaryKeyEncoded(ix, findField(fs.fields, ix.Field), pk)
 			if err != nil {
-				return err
+				return dataErr(err)
 			}
 			if !ok {
 				skey = nil
@@ -560,6 +577,74 @@ func (p *Partition) SearchRTree(indexName string, rect adm.Rectangle) ([]*adm.Re
 		}
 	}
 	return out, nil
+}
+
+// VerifyIndexes cross-checks primary/secondary consistency: every stored
+// record must have exactly its expected entry in every secondary tree
+// (mapping back to its primary key), and no secondary tree may hold
+// dangling entries beyond those. Full scan per tree — intended for test
+// harnesses and invariant checkers, not the hot path.
+func (p *Partition) VerifyIndexes() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("storage: partition closed")
+	}
+	expect := make(map[string]int, len(p.ds.Indexes))
+	var checkErr error
+	err := p.primary.Scan(nil, nil, func(pk, val []byte) bool {
+		v, err := adm.DecodeOne(val)
+		if err != nil {
+			checkErr = err
+			return false
+		}
+		rec, ok := v.(*adm.Record)
+		if !ok {
+			checkErr = fmt.Errorf("storage: stored value is not a record")
+			return false
+		}
+		for _, ix := range p.ds.Indexes {
+			skey, present, err := secondaryKey(ix, rec, pk)
+			if err != nil {
+				checkErr = err
+				return false
+			}
+			if !present {
+				continue
+			}
+			got, found, err := p.secondaries[ix.Name].Get(skey)
+			if err != nil {
+				checkErr = err
+				return false
+			}
+			if !found {
+				checkErr = fmt.Errorf("storage: index %q missing entry for pk %x", ix.Name, pk)
+				return false
+			}
+			if string(got) != string(pk) {
+				checkErr = fmt.Errorf("storage: index %q entry for pk %x points at %x", ix.Name, pk, got)
+				return false
+			}
+			expect[ix.Name]++
+		}
+		return true
+	})
+	if checkErr != nil {
+		return checkErr
+	}
+	if err != nil {
+		return err
+	}
+	for _, ix := range p.ds.Indexes {
+		n, err := p.secondaries[ix.Name].Len()
+		if err != nil {
+			return err
+		}
+		if n != expect[ix.Name] {
+			return fmt.Errorf("storage: index %q holds %d entries, want %d (dangling entries)", ix.Name, n, expect[ix.Name])
+		}
+	}
+	return nil
 }
 
 // Flush flushes the primary and secondary trees to disk.

@@ -74,8 +74,6 @@ func TestReplicationKeepsReplicaInSync(t *testing.T) {
 	waitCount(t, inst, "Tweets", 500, 20*time.Second)
 
 	ds, _ := inst.Catalog().Dataset("feeds", "Tweets")
-	// Give the final replica mirror writes a moment to settle.
-	time.Sleep(100 * time.Millisecond)
 	for i := range ds.NodeGroup {
 		replicaNode := ds.ReplicaOf(i)
 		if replicaNode == "" {
@@ -94,13 +92,20 @@ func TestReplicationKeepsReplicaInSync(t *testing.T) {
 		if prim == nil || repl == nil {
 			t.Fatalf("partition %d: primary or replica not open", i)
 		}
-		np, _ := prim.Count()
-		nr, _ := repl.Count()
-		if np != nr {
-			t.Fatalf("partition %d: primary has %d records, replica %d", i, np, nr)
-		}
-		if np == 0 {
-			t.Fatalf("partition %d empty", i)
+		// Mirror writes are synchronous per frame, but waitCount can return
+		// between a primary insert and its mirror landing; poll until the
+		// counts converge instead of sleeping a fixed amount.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			np, _ := prim.Count()
+			nr, _ := repl.Count()
+			if np == nr && np > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("partition %d: primary has %d records, replica %d", i, np, nr)
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 }
