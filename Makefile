@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint vet fmt bench-smoke chaos-smoke chaos ci
+.PHONY: build test race lint vet fmt bench-smoke watch-smoke chaos-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ vet:
 # paths still execute end to end without paying for a full measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=InsertPath -benchtime=1x ./internal/storage/
+
+# Observability smoke: the admin endpoints (/feeds, /metrics, pprof) and
+# the `show feeds` verb against a live socket feed, plus the per-policy
+# SubscriptionStats ledger invariant. Proves the feedwatch surface stays
+# coherent with the metrics registry it reads from.
+watch-smoke:
+	$(GO) test -count=1 -run 'TestAdminEndpointsDuringLiveFeed' .
+	$(GO) test -count=1 -run 'TestSubscriptionStats|TestSubscriptionSpillError' ./internal/core/
 
 # Chaos smoke: a 50-seed fault-injection sweep with the deterministic
 # harness (internal/chaos). Every seed generates a fault schedule; the

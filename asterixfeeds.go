@@ -29,6 +29,7 @@ import (
 	"asterixfeeds/internal/hyracks"
 	"asterixfeeds/internal/lsm"
 	"asterixfeeds/internal/metadata"
+	"asterixfeeds/internal/metrics"
 	"asterixfeeds/internal/storage"
 	"asterixfeeds/internal/tweetgen"
 )
@@ -51,11 +52,12 @@ type Config struct {
 
 // Instance is a running simulated AsterixDB instance.
 type Instance struct {
-	cluster *hyracks.Cluster
-	catalog *metadata.Catalog
-	feeds   *core.Manager
-	dataDir string
-	ownDir  bool
+	cluster  *hyracks.Cluster
+	catalog  *metadata.Catalog
+	feeds    *core.Manager
+	registry *metrics.Registry
+	dataDir  string
+	ownDir   bool
 
 	mu        sync.Mutex
 	dataverse string
@@ -80,9 +82,43 @@ func Start(cfg Config) (*Instance, error) {
 		dataDir = d
 		ownDir = true
 	}
+	// One registry serves the whole instance (feedwatch): the feed manager
+	// publishes per-connection metrics into it, and node-level LSM and
+	// frame-traffic metrics land beside them, so a single /metrics endpoint
+	// covers every layer.
+	reg := cfg.Feeds.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		cfg.Feeds.Registry = reg
+	}
+	if cfg.Hyracks.FrameObserver == nil {
+		// Pre-resolve the boot nodes' counters so the steady-state frame
+		// path is two atomic adds, no registry lookup. The map is read-only
+		// after this loop; nodes added later fall back to the locked
+		// registry lookup.
+		type nodeTraffic struct{ frames, records *metrics.Counter }
+		traffic := make(map[string]nodeTraffic, len(nodes))
+		for _, n := range nodes {
+			traffic[n] = nodeTraffic{
+				frames:  reg.Counter("node." + n + ".frames"),
+				records: reg.Counter("node." + n + ".records"),
+			}
+		}
+		cfg.Hyracks.FrameObserver = func(node, _ string, f *hyracks.Frame) {
+			t, ok := traffic[node]
+			if !ok {
+				t = nodeTraffic{
+					frames:  reg.Counter("node." + node + ".frames"),
+					records: reg.Counter("node." + node + ".records"),
+				}
+			}
+			t.frames.Add(1)
+			t.records.Add(int64(f.Len()))
+		}
+	}
 	cluster := hyracks.NewCluster(cfg.Hyracks, nodes...)
 	for _, n := range nodes {
-		sm := storage.NewManager(n, nodeDir(dataDir, n), cfg.LSM)
+		sm := newNodeStorage(reg, n, nodeDir(dataDir, n), cfg.LSM)
 		cluster.Node(n).SetService(storage.ServiceName, sm)
 	}
 	// Reload a previously persisted catalog (metadata survives restarts
@@ -103,6 +139,7 @@ func Start(cfg Config) (*Instance, error) {
 		cluster:   cluster,
 		catalog:   catalog,
 		feeds:     feeds,
+		registry:  reg,
 		dataDir:   dataDir,
 		ownDir:    ownDir,
 		dataverse: "Default",
@@ -113,6 +150,26 @@ func Start(cfg Config) (*Instance, error) {
 }
 
 func nodeDir(root, node string) string { return root + "/" + node }
+
+// newNodeStorage builds a node's storage manager with a private lsm.Metrics
+// shared by every tree the node opens, and publishes the node's storage
+// counters and component gauges under "node.<name>.lsm.*".
+func newNodeStorage(reg *metrics.Registry, name, dir string, lsmOpt lsm.Options) *storage.Manager {
+	lm := &lsm.Metrics{}
+	lsmOpt.Metrics = lm
+	sm := storage.NewManager(name, dir, lsmOpt)
+	p := "node." + name + ".lsm"
+	reg.RegisterCounter(p+".wal_appends", &lm.WALAppends)
+	reg.RegisterCounter(p+".wal_bytes", &lm.WALBytes)
+	reg.RegisterCounter(p+".wal_syncs", &lm.WALSyncs)
+	reg.RegisterCounter(p+".flushes", &lm.Flushes)
+	reg.RegisterCounter(p+".flushed_entries", &lm.FlushedEntries)
+	reg.RegisterCounter(p+".merges", &lm.Merges)
+	reg.RegisterGaugeFunc(p+".memtable_bytes", func() int64 { return int64(sm.Stats().MemtableBytes) })
+	reg.RegisterGaugeFunc(p+".memtable_entries", func() int64 { return int64(sm.Stats().MemtableEntries) })
+	reg.RegisterGaugeFunc(p+".runs", func() int64 { return int64(sm.Stats().Runs) })
+	return sm
+}
 
 func catalogPath(root string) string { return root + "/catalog.adm" }
 
@@ -140,6 +197,10 @@ func (in *Instance) Catalog() *metadata.Catalog { return in.catalog }
 // registries).
 func (in *Instance) Feeds() *core.Manager { return in.feeds }
 
+// Registry exposes the instance's named-metric registry: per-connection feed
+// metrics plus node-level LSM and frame-traffic metrics. Never nil.
+func (in *Instance) Registry() *metrics.Registry { return in.registry }
+
 // Dataverse reports the session's active dataverse.
 func (in *Instance) Dataverse() string {
 	in.mu.Lock()
@@ -153,7 +214,7 @@ func (in *Instance) AddNode(name string) error {
 	if err != nil {
 		return err
 	}
-	n.SetService(storage.ServiceName, storage.NewManager(name, nodeDir(in.dataDir, name), lsm.Options{}))
+	n.SetService(storage.ServiceName, newNodeStorage(in.registry, name, nodeDir(in.dataDir, name), lsm.Options{}))
 	return nil
 }
 

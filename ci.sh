@@ -18,6 +18,9 @@ echo "test: ok"
 go test -run '^$' -bench=InsertPath -benchtime=1x ./internal/storage/
 echo "bench-smoke: ok"
 
+make watch-smoke
+echo "watch-smoke: ok"
+
 go run ./cmd/feedchaos -seeds 50 -records 150
 echo "chaos-smoke: ok"
 

@@ -46,7 +46,7 @@ func main() {
 		*nodes, strings.Join(names, ", "))
 	if *httpAddr != "" {
 		go func() {
-			fmt.Printf("asterixd: console at http://%s/admin/status\n", *httpAddr)
+			fmt.Printf("asterixd: console at http://%s (endpoints: /admin/status /feeds /metrics /debug/pprof/)\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, inst.ConsoleHandler()); err != nil {
 				fmt.Fprintf(os.Stderr, "asterixd: console: %v\n", err)
 			}
@@ -86,7 +86,7 @@ func main() {
 
 func printResult(r asterixfeeds.Result) {
 	switch r.Kind {
-	case "query":
+	case "query", "show-feeds":
 		if lst, ok := r.Value.(*adm.OrderedList); ok {
 			for _, item := range lst.Items {
 				fmt.Println(item)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 
 	"asterixfeeds/internal/adm"
 )
@@ -87,12 +88,27 @@ func latestRate(rates []float64) float64 {
 //
 //	GET  /admin/status          connections as JSON
 //	GET  /admin/cluster         node liveness as JSON
+//	GET  /metrics               the full metric registry, Prometheus text
+//	GET  /feeds                 per-connection FeedActivity snapshots, JSON
+//	GET  /debug/pprof/          Go runtime profiles
 //	POST /query                 AQL statements in the body; results as JSON
 func (in *Instance) ConsoleHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/admin/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, in.Status())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		in.registry.WriteProm(w) //nolint:errcheck // best effort over HTTP
+	})
+	mux.HandleFunc("/feeds", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, in.feeds.FeedActivity())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/admin/cluster", func(w http.ResponseWriter, r *http.Request) {
 		type node struct {
 			Name  string `json:"name"`

@@ -39,7 +39,7 @@ func (in *Instance) Exec(src string) ([]Result, error) {
 			return out, err
 		}
 		switch st.(type) {
-		case *aql.Query, *aql.InsertInto, *aql.LoadDataset, *aql.UseDataverse:
+		case *aql.Query, *aql.InsertInto, *aql.LoadDataset, *aql.UseDataverse, *aql.ShowFeeds:
 		default:
 			ddl = true
 		}
@@ -282,8 +282,58 @@ func (in *Instance) execStatement(st aql.Statement) (Result, error) {
 			return Result{}, err
 		}
 		return Result{Kind: "query", Value: v}, nil
+
+	case *aql.ShowFeeds:
+		return Result{Kind: "show-feeds", Value: in.showFeedsValue(),
+			Message: fmt.Sprintf("%d feed connection(s)", len(in.feeds.Connections()))}, nil
 	}
 	return Result{}, fmt.Errorf("asterixfeeds: unsupported statement %T", st)
+}
+
+// showFeedsValue renders every connection's FeedActivity snapshot as an ADM
+// list of records, so `show feeds` output flows through the same result
+// machinery (console JSON, REPL printing) as a query.
+func (in *Instance) showFeedsValue() *adm.OrderedList {
+	acts := in.feeds.FeedActivity()
+	items := make([]adm.Value, 0, len(acts))
+	for _, a := range acts {
+		names := []string{
+			"connection", "feed", "dataset", "policy", "state",
+			"intakeNodes", "computeNodes", "storeNodes", "computeCount",
+			"collectedTotal", "computedTotal", "persistedTotal",
+			"collectRate", "computeRate", "persistRate",
+			"backlog", "pendingAcks", "softFailures", "storeErrors",
+			"replayed", "discarded", "throttledOut", "spilledTotal",
+			"spilledBytes", "spillErrors", "latencyP50Ms", "latencyP99Ms",
+		}
+		values := []adm.Value{
+			adm.String(a.Connection), adm.String(a.Feed), adm.String(a.Dataset),
+			adm.String(a.Policy), adm.String(a.State),
+			stringList(a.IntakeNodes), stringList(a.ComputeNodes), stringList(a.StoreNodes),
+			adm.Int64(int64(a.ComputeCount)),
+			adm.Int64(a.CollectedTotal), adm.Int64(a.ComputedTotal), adm.Int64(a.PersistedTotal),
+			adm.Double(a.CollectRate), adm.Double(a.ComputeRate), adm.Double(a.PersistRate),
+			adm.Int64(int64(a.Backlog)), adm.Int64(int64(a.PendingAcks)),
+			adm.Int64(a.SoftFailures), adm.Int64(a.StoreErrors),
+			adm.Int64(a.Replayed), adm.Int64(a.Discarded), adm.Int64(a.ThrottledOut),
+			adm.Int64(a.SpilledTotal), adm.Int64(a.SpilledBytes), adm.Int64(a.SpillErrors),
+			adm.Double(float64(a.LatencyP50) / 1e6), adm.Double(float64(a.LatencyP99) / 1e6),
+		}
+		if a.Error != "" {
+			names = append(names, "error")
+			values = append(values, adm.String(a.Error))
+		}
+		items = append(items, adm.MustRecord(names, values))
+	}
+	return &adm.OrderedList{Items: items}
+}
+
+func stringList(ss []string) *adm.OrderedList {
+	items := make([]adm.Value, len(ss))
+	for i, s := range ss {
+		items[i] = adm.String(s)
+	}
+	return &adm.OrderedList{Items: items}
 }
 
 // execDrop removes a catalog object, refusing while feed connections still

@@ -118,6 +118,10 @@ type Query struct {
 	Body Expr
 }
 
+// ShowFeeds reports every feed connection's monitoring snapshot (the
+// console's `show feeds` verb).
+type ShowFeeds struct{}
+
 func (*UseDataverse) stmt()    {}
 func (*CreateDataverse) stmt() {}
 func (*CreateType) stmt()      {}
@@ -132,6 +136,7 @@ func (*LoadDataset) stmt()     {}
 func (*InsertInto) stmt()      {}
 func (*Drop) stmt()            {}
 func (*Query) stmt()           {}
+func (*ShowFeeds) stmt()       {}
 
 // Expr is a parsed AQL expression.
 type Expr interface{ expr() }

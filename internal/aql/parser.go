@@ -137,6 +137,12 @@ func (p *parser) statement() (Statement, error) {
 		return &UseDataverse{Name: name}, nil
 	case p.atKeyword("create"):
 		return p.createStatement()
+	case p.atKeyword("show"):
+		p.advance()
+		if err := p.expectKeyword("feeds"); err != nil {
+			return nil, err
+		}
+		return &ShowFeeds{}, nil
 	case p.atKeyword("connect"):
 		p.advance()
 		if err := p.expectKeyword("feed"); err != nil {

@@ -135,13 +135,17 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	// At-least-once with soft+hard recovery is the only policy under which
-	// the delivery invariant is checkable; the large memory budget keeps
-	// congestion from discarding records before they are tracked.
+	// the delivery invariant is checkable. Spill is on with a budget below
+	// the workload size so the disk overflow path (and its injected write
+	// failures — "core:spill:push") is exercised: unlike discard or
+	// throttle, spilling parks excess records instead of dropping them, so
+	// the invariant stays checkable.
 	err = catalog.CreatePolicy(&metadata.PolicyDecl{Name: chaosPolicy, Params: map[string]string{
 		metadata.ParamAtLeastOnce:  "true",
 		metadata.ParamRecoverSoft:  "true",
 		metadata.ParamRecoverHard:  "true",
-		metadata.ParamMemoryBudget: "100000",
+		metadata.ParamSpill:        "true",
+		metadata.ParamMemoryBudget: "120",
 	}})
 	if err != nil {
 		return nil, err
@@ -254,16 +258,27 @@ func Run(sc Scenario) (*Result, error) {
 		defer emitMu.Unlock()
 		return len(emitted)
 	}
+	// The poll is two-tier (feedwatch): the manager's metric registry gives
+	// the persisted total and pending-ack gauge for pennies, so the
+	// expensive distinct-id partition scan only runs once those say the
+	// pipeline has plausibly drained. Persisted counts replays too, so it
+	// can overshoot the distinct target — the scan stays the authority.
+	reg := mgr.Registry()
+	prefix := "feed." + conn.ID()
 	for {
 		if conn.State() == core.ConnFailed {
 			res.failf("connection failed: %v", conn.Err())
 			break
 		}
-		stored := storedIDs(cluster, ds)
-		if len(stored) == want() && conn.PendingAcks() == 0 {
-			break
+		persisted, _ := reg.Value(prefix + ".persisted")
+		pending, _ := reg.Value(prefix + ".pending_acks")
+		if persisted >= int64(want()) && pending == 0 {
+			if stored := storedIDs(cluster, ds); len(stored) == want() {
+				break
+			}
 		}
 		if time.Now().After(deadline) {
+			stored := storedIDs(cluster, ds)
 			res.failf("drain: stored %d of %d emitted records (pending acks %d) after %v",
 				len(stored), want(), conn.PendingAcks(), sc.Timeout)
 			break

@@ -47,6 +47,10 @@ var benignMenu = []candidate{
 	{"lsm:C/p001/country_idx/wal.appendBatch", ActErr, 8},
 	{"core:ack:B", ActErr, 5},
 	{"core:ack:C", ActErr, 5},
+	// The scenario policy spills excess intake backlog to disk; an injected
+	// spill-write failure must fall back to in-memory buffering (counted in
+	// SubscriptionStats.SpillErrors) without losing a record.
+	{"core:spill:push", ActErr, 6},
 	{"frame:B:Store", ActStall, 8},
 	{"frame:C:Store", ActStall, 8},
 	{"adaptor:p0", ActCrash, 40},

@@ -10,6 +10,7 @@ import (
 
 	"asterixfeeds/internal/hyracks"
 	"asterixfeeds/internal/metadata"
+	"asterixfeeds/internal/metrics"
 )
 
 // Options tunes the Central Feed Manager.
@@ -26,10 +27,16 @@ type Options struct {
 	ElasticInterval time.Duration
 	// FaultHook, when non-nil, is consulted at the feed manager's own
 	// failure points ("ack:<node>" before ack delivery, "resync:insert"
-	// per record during replica re-sync). A non-nil return injects that
-	// failure. Only fault-injection harnesses set this (see
-	// internal/chaos).
+	// per record during replica re-sync, "spill:push" before a
+	// subscription spill write). A non-nil return injects that failure.
+	// Only fault-injection harnesses set this (see internal/chaos).
 	FaultHook func(point string) error
+	// Registry, when non-nil, is the named-metric registry the manager
+	// publishes per-connection instrumentation into (feedwatch). Nil gets
+	// a private registry, so Manager.Registry never returns nil. Sharing
+	// one registry with the embedding instance lets node-level metrics
+	// (LSM, frame traffic) and feed metrics serve from one endpoint.
+	Registry *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +51,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ElasticInterval <= 0 {
 		o.ElasticInterval = 100 * time.Millisecond
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
 	}
 	return o
 }
@@ -82,6 +92,7 @@ type Manager struct {
 	opt       Options
 
 	aqlCompile AQLCompiler
+	registry   *metrics.Registry
 
 	mu       sync.Mutex
 	heads    map[string]*headInfo   // primary feed qualified name -> head
@@ -109,6 +120,7 @@ func NewManager(cluster *hyracks.Cluster, catalog *metadata.Catalog, opt Options
 		produced:  make(map[string]*production),
 		stopCh:    make(chan struct{}),
 	}
+	m.registry = m.opt.Registry
 	for _, node := range cluster.AllNodes() {
 		m.installFeedManager(node)
 	}
@@ -320,6 +332,7 @@ func (m *Manager) ConnectFeed(dataverse, feedName, datasetName, policyName strin
 		return nil, err
 	}
 	m.conns[id] = conn
+	m.registerConnMetricsLocked(conn)
 	if head != nil {
 		head.refs[id] = true
 	}
@@ -450,7 +463,7 @@ func (m *Manager) startTailLocked(conn *Connection) error {
 	}
 
 	spec := &hyracks.JobSpec{Name: "FeedIntakeJob(" + conn.id + ")"}
-	intake := spec.AddOperator(&intakeOp{conn: conn}, hyracks.LocationConstraint(srcLocs...))
+	intake := spec.AddOperator(&intakeOp{conn: conn, fault: m.opt.FaultHook}, hyracks.LocationConstraint(srcLocs...))
 	prev := intake
 	for i, st := range conn.stages {
 		op := spec.AddOperator(&assignOp{
@@ -694,6 +707,7 @@ func (m *Manager) teardownConnLocked(conn *Connection, graceful bool) {
 			close(conn.trackerStop)
 		}
 	}
+	m.registry.Unregister(connMetricPrefix(conn.id))
 	m.derefHeadLocked(conn)
 }
 

@@ -29,6 +29,12 @@ func (m *Manager) elasticLoop(conn *Connection) {
 	defer tick.Stop()
 	over, idle := 0, 0
 	minCompute := conn.ComputeCount()
+	// The controller reads the backlog through the registry gauge published
+	// at connect time — the same function connBacklog the admin endpoints
+	// serve — so scaling decisions and the console can never disagree about
+	// what the backlog "is". The direct call remains as a fallback for a
+	// connection whose gauge has been unregistered mid-teardown.
+	backlogMetric := connMetricPrefix(conn.id) + ".backlog"
 	for {
 		select {
 		case <-m.stopCh:
@@ -43,8 +49,11 @@ func (m *Manager) elasticLoop(conn *Connection) {
 			}
 			continue // recovering: skip this round
 		}
-		backlog := m.connBacklog(conn)
-		budget := conn.pol.MemoryBudgetRecords
+		backlog, ok := m.registry.Value(backlogMetric)
+		if !ok {
+			backlog = int64(m.connBacklog(conn))
+		}
+		budget := int64(conn.pol.MemoryBudgetRecords)
 		switch {
 		case backlog > budget:
 			over++

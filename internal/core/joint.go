@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 	"sync"
@@ -289,13 +290,23 @@ func (j *Joint) close() {
 }
 
 // SubscriptionStats reports one subscription's congestion counters; the
-// feed management console (§7.2) surfaces these.
+// feed management console (§7.2) surfaces these. The counters satisfy the
+// accounting invariant
+//
+//	Received == delivered + Discarded + ThrottledOut
+//
+// once the subscription has drained (delivered being the records handed out
+// by Next): every record offered to a live subscription is eventually
+// delivered, discarded, or throttled away.
 type SubscriptionStats struct {
 	// Backlog is the current in-memory backlog in records.
 	Backlog int
 	// SpilledFrames is the number of frames currently parked on disk.
 	SpilledFrames int
-	// Received counts records accepted into the subscription.
+	// SpilledBytes is the number of bytes currently parked on disk.
+	SpilledBytes int64
+	// Received counts records offered to the live subscription, before any
+	// policy action.
 	Received int64
 	// Discarded counts records dropped by the Discard policy.
 	Discarded int64
@@ -303,6 +314,10 @@ type SubscriptionStats struct {
 	ThrottledOut int64
 	// SpilledTotal counts records that went through the spill file.
 	SpilledTotal int64
+	// SpillErrors counts spill-file write failures. The affected frames
+	// fall back to in-memory buffering (no records are lost), but a
+	// non-zero value means the disk overflow area is not doing its job.
+	SpillErrors int64
 }
 
 // Subscription is one consumer's registration with a feed joint: an
@@ -331,6 +346,12 @@ type Subscription struct {
 	// onExcess is invoked when the Elastic policy observes a backlog
 	// beyond budget; the Central Feed Manager installs it.
 	onExcess func()
+	// spillFault, when set, is consulted (point "spill:push") before each
+	// spill-file write; fault-injection harnesses use it to exercise the
+	// spill error path.
+	spillFault func(point string) error
+	// spillLogOnce limits spill-error logging to once per subscription.
+	spillLogOnce sync.Once
 }
 
 func newSubscription(id string, pol *Policy, spillPath string) (*Subscription, error) {
@@ -369,6 +390,14 @@ func (s *Subscription) SetExcessCallback(fn func()) {
 	s.mu.Unlock()
 }
 
+// SetSpillFault installs a fault hook consulted before each spill-file
+// write. Only fault-injection harnesses set this.
+func (s *Subscription) SetSpillFault(fn func(point string) error) {
+	s.mu.Lock()
+	s.spillFault = fn
+	s.mu.Unlock()
+}
+
 // Stats returns a snapshot of the subscription's counters.
 func (s *Subscription) Stats() SubscriptionStats {
 	s.mu.Lock()
@@ -377,6 +406,7 @@ func (s *Subscription) Stats() SubscriptionStats {
 	st.Backlog = s.backlog
 	if s.spill != nil {
 		st.SpilledFrames = s.spill.pending()
+		st.SpilledBytes = s.spill.bytes
 	}
 	return st
 }
@@ -400,6 +430,7 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
 		}
 		return false
 	}
+	s.stats.Received += int64(f.Len())
 	excess := s.backlog >= s.pol.MemoryBudgetRecords
 	var elasticCB func()
 	switch {
@@ -412,7 +443,15 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
 		s.stats.Discarded += int64(f.Len())
 	case s.pol.Spill && s.spill != nil:
 		// Park the frame on disk for deferred processing (§7.3.2).
-		ok, err := s.spill.push(f)
+		ok, err := s.pushSpillLocked(f)
+		if err != nil {
+			// A failing spill write is not the same as a full budget: the
+			// overflow area is broken, not exhausted. Count it (the
+			// console surfaces SpillErrors) and say so once; the frame
+			// still falls back below, so no records are lost.
+			s.stats.SpillErrors++
+			s.logSpillError(err)
+		}
 		switch {
 		case err == nil && ok:
 			s.stats.SpilledTotal += int64(f.Len())
@@ -422,8 +461,8 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
 			// from here on.
 			s.throttleLocked(f)
 		default:
-			// Spill budget exhausted (or spill error): fall back to
-			// buffering in memory, as the Basic policy would.
+			// Spill budget exhausted or spill write failed: fall back
+			// to buffering in memory, as the Basic policy would.
 			s.enqueueLocked(f, b)
 			b, retained = nil, true
 		}
@@ -451,6 +490,25 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
 	return retained
 }
 
+// pushSpillLocked appends f to the spill file, first consulting the
+// injected fault hook if any.
+func (s *Subscription) pushSpillLocked(f *hyracks.Frame) (bool, error) {
+	if s.spillFault != nil {
+		if err := s.spillFault("spill:push"); err != nil {
+			return false, err
+		}
+	}
+	return s.spill.push(f)
+}
+
+// logSpillError reports the first spill write failure of this
+// subscription's lifetime; later ones only count.
+func (s *Subscription) logSpillError(err error) {
+	s.spillLogOnce.Do(func() {
+		log.Printf("core: subscription %s: spill write failed: %v; excess frames buffer in memory", s.id, err)
+	})
+}
+
 // throttleLocked randomly samples a frame's records to reduce the effective
 // arrival rate (§7.3.4): losses spread uniformly over the stream.
 func (s *Subscription) throttleLocked(f *hyracks.Frame) {
@@ -476,7 +534,6 @@ func (s *Subscription) enqueueLocked(f *hyracks.Frame, b *dataBucket) {
 	s.buckets = append(s.buckets, b)
 	s.arrived = append(s.arrived, nowFunc())
 	s.backlog += f.Len()
-	s.stats.Received += int64(f.Len())
 	select {
 	case s.notify <- struct{}{}:
 	default:

@@ -175,6 +175,9 @@ func (s *batchingSink) stop() {
 
 type intakeOp struct {
 	conn *Connection
+	// fault is the manager's injection hook (Options.FaultHook); installed
+	// on the subscription as its spill fault. Nil in production.
+	fault func(point string) error
 }
 
 // Name implements hyracks.OperatorDescriptor.
@@ -214,6 +217,9 @@ func (r *intakeRuntime) Run() error {
 		return err
 	}
 	sub.SetLatencyRecorder(conn.Metrics.IngestionLatency)
+	if r.op.fault != nil {
+		sub.SetSpillFault(r.op.fault)
+	}
 
 	// Pump subscription frames into a channel so the main loop can also
 	// service replays and disconnect signals.

@@ -534,8 +534,11 @@ func TestSubscriptionThrottlePolicy(t *testing.T) {
 	if st.ThrottledOut == 0 {
 		t.Fatal("throttle policy dropped nothing under overload")
 	}
-	if st.Received+st.ThrottledOut != 1000 {
-		t.Fatalf("received %d + throttled %d != 1000", st.Received, st.ThrottledOut)
+	if st.Received != 1000 {
+		t.Fatalf("received %d, want all 1000 offered records", st.Received)
+	}
+	if kept := st.Received - st.ThrottledOut; kept != int64(st.Backlog) {
+		t.Fatalf("received %d - throttled %d != backlog %d", st.Received, st.ThrottledOut, st.Backlog)
 	}
 	// Unlike discard, throttling admits records from late frames too.
 	lateSeen := false

@@ -38,6 +38,13 @@ type Config struct {
 	// task or kill the node; node liveness is rechecked after it returns
 	// so an injected kill lands exactly on the frame boundary.
 	FrameFault func(node, op string, f *Frame)
+	// FrameObserver, when non-nil, runs at every consumer frame boundary
+	// with the hosting node's ID, the operator's name, and the frame about
+	// to be delivered. Unlike FrameFault it must be side-effect-free on
+	// the dataflow: it exists so an embedding layer can count per-node
+	// frame traffic without hyracks importing a metrics package. Nil (the
+	// default) keeps the uninstrumented path branch-predictable.
+	FrameObserver func(node, op string, f *Frame)
 }
 
 func (c Config) withDefaults() Config {

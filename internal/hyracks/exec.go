@@ -527,6 +527,9 @@ func (c *Cluster) runTask(j *JobHandle, rt OperatorRuntime, in *inQueue, node *N
 			if !ok {
 				return rt.Close()
 			}
+			if ob := c.cfg.FrameObserver; ob != nil {
+				ob(node.ID(), opName, f)
+			}
 			if ff := c.cfg.FrameFault; ff != nil {
 				ff(node.ID(), opName, f)
 				// The hook may have killed this node: recheck liveness so

@@ -29,25 +29,30 @@ type Rule struct {
 // DefaultRules is the asterixfeeds layering table:
 //
 //   - internal/adm (the data model) sits at the bottom: no internal imports
-//   - internal/lsm may import only adm
-//   - internal/storage may import only adm and lsm (it layers datasets and
-//     partitions over LSM trees)
-//   - internal/hyracks (the dataflow engine) is self-contained and, in
-//     particular, must never import the feed runtime in internal/core
-//   - internal/metrics is self-contained
+//   - internal/metrics is self-contained leaf infrastructure: it may be
+//     imported from any layer (lsm, hyracks, core) without creating an
+//     architecture edge, and imports nothing internal itself
+//   - internal/lsm may import only adm and metrics
+//   - internal/storage may import only adm, lsm, and metrics
+//   - internal/hyracks (the dataflow engine) may import only metrics and,
+//     in particular, must never import the feed runtime in internal/core
+//     (frame-traffic counting goes through Config.FrameObserver instead)
 //   - internal/metadata may import only adm, lsm, and storage
 //   - internal/core (the feed runtime) must not reach up into the query
-//     layer (aql) or the experiment harness
+//     layer (aql), the experiment harness, or the module root: the HTTP
+//     admin/console layer lives in the root package, strictly above core
 //   - nothing imports cmd/ binaries
+//
+// The pattern "." denotes the module root package (the HTTP/console layer).
 var DefaultRules = []Rule{
 	{Pkg: "internal/adm", Allow: []string{}},
-	{Pkg: "internal/lsm", Allow: []string{"internal/adm"}},
-	{Pkg: "internal/storage", Allow: []string{"internal/adm", "internal/lsm"}},
-	{Pkg: "internal/hyracks", Allow: []string{}, Deny: []string{"internal/core"}},
+	{Pkg: "internal/lsm", Allow: []string{"internal/adm", "internal/metrics"}},
+	{Pkg: "internal/storage", Allow: []string{"internal/adm", "internal/lsm", "internal/metrics"}},
+	{Pkg: "internal/hyracks", Allow: []string{"internal/metrics"}, Deny: []string{"internal/core"}},
 	{Pkg: "internal/metrics", Allow: []string{}},
 	{Pkg: "internal/metadata", Allow: []string{"internal/adm", "internal/lsm", "internal/storage"}},
-	{Pkg: "internal/core", Deny: []string{"internal/aql", "internal/experiments"}},
-	{Pkg: "internal/chaos", Deny: []string{"internal/aql", "internal/experiments"}},
+	{Pkg: "internal/core", Deny: []string{"internal/aql", "internal/experiments", "."}},
+	{Pkg: "internal/chaos", Deny: []string{"internal/aql", "internal/experiments", "."}},
 	{Pkg: "*", Deny: []string{"cmd"}},
 }
 
@@ -108,14 +113,33 @@ func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
 // package governed by r breaks the rule.
 func (r Rule) check(pkg *lint.Package, path string) string {
 	rel := strings.TrimPrefix(path, pkg.Module+"/")
-	if lint.MatchAny(r.Deny, path) {
+	if matchImport(r.Deny, pkg.Module, path) {
 		return pkg.RelPath() + " must not import " + rel
 	}
-	if r.Allow != nil && !lint.MatchAny(r.Allow, path) {
+	if r.Allow != nil && !matchImport(r.Allow, pkg.Module, path) {
 		if len(r.Allow) == 0 {
 			return pkg.RelPath() + " must not import any internal package, got " + rel
 		}
 		return pkg.RelPath() + " may import only {" + strings.Join(r.Allow, ", ") + "}, got " + rel
 	}
 	return ""
+}
+
+// matchImport matches an import path against rule patterns. The pattern "."
+// matches exactly the module root package; a bare MatchPath on the module
+// path would match every internal package too, which is never what a rule
+// about the root layer means.
+func matchImport(patterns []string, module, path string) bool {
+	for _, p := range patterns {
+		if p == "." {
+			if path == module {
+				return true
+			}
+			continue
+		}
+		if lint.MatchPath(p, path) {
+			return true
+		}
+	}
+	return false
 }

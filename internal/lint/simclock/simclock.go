@@ -18,8 +18,11 @@ import (
 	"asterixfeeds/internal/lint"
 )
 
-// DefaultPackages are the determinism-critical packages.
-var DefaultPackages = []string{"internal/core", "internal/hyracks"}
+// DefaultPackages are the determinism-critical packages. internal/metrics
+// is included because rate windows and latency reservoirs are timestamped:
+// every read must go through the package's nowFunc hook or deterministic
+// replays would observe wall-clock-dependent rates.
+var DefaultPackages = []string{"internal/core", "internal/hyracks", "internal/metrics"}
 
 // clockFuncs are the time package functions that read the real clock.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}

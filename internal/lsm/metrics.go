@@ -1,0 +1,25 @@
+package lsm
+
+import "asterixfeeds/internal/metrics"
+
+// Metrics aggregates LSM lifecycle counters across every tree that shares
+// it. All fields are lock-free atomic counters, so a single Metrics value
+// is typically attached to every tree on a node (primary and secondary
+// components of every partition) and read by an admin endpoint while the
+// trees are hot. A nil Metrics (the default) keeps the write path
+// uninstrumented.
+type Metrics struct {
+	// WALAppends counts WAL records written; a group-committed batch
+	// counts once, matching its single CRC and (at most) single fsync.
+	WALAppends metrics.Counter
+	// WALBytes counts encoded bytes appended to the WAL, CRC included.
+	WALBytes metrics.Counter
+	// WALSyncs counts fsyncs issued by the group-commit policy.
+	WALSyncs metrics.Counter
+	// Flushes counts memtable-to-run flushes; FlushedEntries the entries
+	// they wrote.
+	Flushes        metrics.Counter
+	FlushedEntries metrics.Counter
+	// Merges counts full tiered merges.
+	Merges metrics.Counter
+}

@@ -23,6 +23,9 @@ type Options struct {
 	// FaultHook, when non-nil, is consulted at the tree's WAL failure
 	// points. Only fault-injection harnesses set this; see FaultHook.
 	FaultHook FaultHook
+	// Metrics, when non-nil, receives WAL/flush/merge counter updates;
+	// one Metrics value may be shared by many trees. See Metrics.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +50,16 @@ type Stats struct {
 	RunEntries int
 	// Flushes and Merges count lifecycle operations since open.
 	Flushes, Merges int
+}
+
+// Add accumulates o into s, for aggregating statistics across trees.
+func (s *Stats) Add(o Stats) {
+	s.MemtableEntries += o.MemtableEntries
+	s.MemtableBytes += o.MemtableBytes
+	s.Runs += o.Runs
+	s.RunEntries += o.RunEntries
+	s.Flushes += o.Flushes
+	s.Merges += o.Merges
 }
 
 // Tree is an LSM tree: a WAL-protected memtable over a stack of immutable
@@ -104,7 +117,7 @@ func Open(opt Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	w, err := openWAL(walPath, opt.SyncWAL, opt.FaultHook)
+	w, err := openWAL(walPath, opt.SyncWAL, opt.FaultHook, opt.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -249,6 +262,7 @@ func (t *Tree) flushLocked() error {
 	if t.mem.len() == 0 {
 		return nil
 	}
+	flushed := t.mem.len()
 	t.seq++
 	path := filepath.Join(t.opt.Dir, fmt.Sprintf("run-%06d.lsm", t.seq))
 	r, err := writeRun(path, t.mem.entries())
@@ -258,6 +272,10 @@ func (t *Tree) flushLocked() error {
 	t.runs = append([]*run{r}, t.runs...)
 	t.mem = newMemtable(int64(t.seq))
 	t.flushes++
+	if m := t.opt.Metrics; m != nil {
+		m.Flushes.Add(1)
+		m.FlushedEntries.Add(int64(flushed))
+	}
 	if err := t.wal.truncate(); err != nil {
 		return err
 	}
@@ -326,6 +344,9 @@ func (t *Tree) mergeLocked() error {
 	old := t.runs
 	t.runs = []*run{nr}
 	t.merges++
+	if m := t.opt.Metrics; m != nil {
+		m.Merges.Add(1)
+	}
 	for _, r := range old {
 		if err := r.remove(); err != nil {
 			return err

@@ -45,15 +45,17 @@ type wal struct {
 	// see FaultHook. broken wedges the log after an injected torn write.
 	fault  FaultHook
 	broken bool
+	// metrics, when non-nil, counts appends, bytes, and fsyncs.
+	metrics *Metrics
 }
 
 // openWAL opens (creating if needed) the WAL at path for appending.
-func openWAL(path string, syncEvery int, fault FaultHook) (*wal, error) {
+func openWAL(path string, syncEvery int, fault FaultHook, m *Metrics) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery, fault: fault}, nil
+	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery, fault: fault, metrics: m}, nil
 }
 
 // tearWrite persists a strict prefix of record (the complete encoded bytes
@@ -120,6 +122,10 @@ func (w *wal) append(kind walRecordKind, key, value []byte) error {
 	if _, err := w.w.Write(value); err != nil {
 		return err
 	}
+	if w.metrics != nil {
+		w.metrics.WALAppends.Add(1)
+		w.metrics.WALBytes.Add(int64(4 + n + len(key) + len(value)))
+	}
 	w.pending++
 	if w.syncEvery > 0 && w.pending >= w.syncEvery {
 		return w.sync()
@@ -174,6 +180,10 @@ func (w *wal) appendBatch(ops []batchOp) error {
 	if _, err := w.w.Write(body); err != nil {
 		return err
 	}
+	if w.metrics != nil {
+		w.metrics.WALAppends.Add(1)
+		w.metrics.WALBytes.Add(int64(4 + len(body)))
+	}
 	w.pending++
 	if w.syncEvery > 0 && w.pending >= w.syncEvery {
 		return w.sync()
@@ -191,6 +201,9 @@ func (w *wal) sync() error {
 	w.pending = 0
 	if err := w.w.Flush(); err != nil {
 		return err
+	}
+	if w.metrics != nil {
+		w.metrics.WALSyncs.Add(1)
 	}
 	return w.f.Sync()
 }

@@ -178,6 +178,22 @@ func (m *Manager) DropPartition(qualifiedName string) error {
 	return first
 }
 
+// Stats aggregates LSM component statistics across every open partition on
+// this node, for node-level admin gauges (memtable footprint, run counts).
+func (m *Manager) Stats() lsm.Stats {
+	m.mu.Lock()
+	parts := make([]*Partition, 0, len(m.partitions))
+	for _, p := range m.partitions {
+		parts = append(parts, p)
+	}
+	m.mu.Unlock()
+	var out lsm.Stats
+	for _, p := range parts {
+		out.Add(p.Stats())
+	}
+	return out
+}
+
 // Close closes every open partition.
 func (m *Manager) Close() error {
 	m.mu.Lock()

@@ -665,6 +665,21 @@ func (p *Partition) Flush() error {
 	return nil
 }
 
+// Stats aggregates LSM component statistics across the partition's primary
+// and secondary trees.
+func (p *Partition) Stats() lsm.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return lsm.Stats{}
+	}
+	out := p.primary.Stats()
+	for _, t := range p.secondaries {
+		out.Add(t.Stats())
+	}
+	return out
+}
+
 // Close releases the partition's trees.
 func (p *Partition) Close() error {
 	p.mu.Lock()
