@@ -1,10 +1,11 @@
 // Command feedlint runs the asterixfeeds static-analysis suite: the
-// layering, locking, goroutine-hygiene, error-handling, and determinism
-// invariants described in DESIGN.md ("Architecture invariants").
+// layering, locking, goroutine-hygiene, error-handling, determinism, and
+// interprocedural concurrency invariants described in DESIGN.md
+// ("Architecture invariants" and "Concurrency invariants").
 //
 // Usage:
 //
-//	feedlint [-list] [dir ...]
+//	feedlint [-list] [-v] [-faststd] [dir ...]
 //
 // With no arguments (or "./..."), feedlint analyzes the module containing
 // the current directory. A directory argument selects the module
@@ -12,6 +13,15 @@
 // which is how the fixture modules under internal/lint/testdata are
 // exercised. Findings print as "file:line: [rule] message"; any finding
 // makes the exit status 1.
+//
+// -v reports per-analyzer wall time and any files the loader skipped
+// because of build constraints. -faststd resolves stdlib imports from
+// compiled export data instead of type-checking $GOROOT/src — much
+// faster, used by `make lint-fast`.
+//
+// Stale `//feedlint:allow` directives — waivers that no longer suppress
+// anything — are reported as warnings on stderr but do not change the
+// exit status.
 package main
 
 import (
@@ -19,30 +29,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"asterixfeeds/internal/lint"
-	"asterixfeeds/internal/lint/archrule"
-	"asterixfeeds/internal/lint/errdrop"
-	"asterixfeeds/internal/lint/goleak"
-	"asterixfeeds/internal/lint/mutexcheck"
-	"asterixfeeds/internal/lint/simclock"
+	"asterixfeeds/internal/lint/all"
 )
-
-func analyzers() []lint.Analyzer {
-	return []lint.Analyzer{
-		archrule.New(nil),
-		mutexcheck.New(),
-		goleak.New(nil),
-		errdrop.New(nil),
-		simclock.New(nil),
-	}
-}
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	verbose := flag.Bool("v", false, "report per-analyzer timings and loader skips")
+	fastStd := flag.Bool("faststd", false, "resolve stdlib imports from export data (faster; needs a primed build cache)")
 	flag.Parse()
 
-	as := analyzers()
+	as := all.Analyzers()
 	if *list {
 		for _, a := range as {
 			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
@@ -53,7 +52,7 @@ func main() {
 	roots := moduleRoots(flag.Args())
 	exit := 0
 	for _, root := range roots {
-		findings, err := run(root, as)
+		findings, err := run(root, as, *fastStd, *verbose)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "feedlint:", err)
 			os.Exit(2)
@@ -88,25 +87,58 @@ func moduleRoots(args []string) []string {
 }
 
 // run lints the module containing dir and returns its findings.
-func run(dir string, as []lint.Analyzer) ([]lint.Finding, error) {
+func run(dir string, as []lint.Analyzer, fastStd, verbose bool) ([]lint.Finding, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		// A file argument lints the module containing it.
+		dir = filepath.Dir(dir)
+	}
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
 		return nil, err
 	}
+	loader.FastStd = fastStd
+	loadStart := time.Now()
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		return nil, err
 	}
-	return lint.Run(pkgs, as), nil
+	loadTime := time.Since(loadStart)
+
+	findings, stats := lint.RunWithStats(pkgs, as)
+
+	if verbose {
+		fmt.Fprintf(os.Stderr, "feedlint: loaded %d packages in %v\n", len(pkgs), loadTime.Round(time.Millisecond))
+		for _, sk := range loader.Skipped {
+			fmt.Fprintf(os.Stderr, "feedlint: skipped %s (%s)\n", relPath(sk.Path), sk.Reason)
+		}
+		for _, a := range as {
+			fmt.Fprintf(os.Stderr, "feedlint: %-12s %v\n", a.Name(), stats.AnalyzerTime[a.Name()].Round(time.Millisecond))
+		}
+	}
+	for _, site := range stats.UnusedAllows {
+		f := lint.Finding{Pos: site.Pos, Rule: "allow-audit",
+			Message: fmt.Sprintf("stale //feedlint:allow %s: it suppresses nothing; delete the directive", site.Rule)}
+		fmt.Fprintln(os.Stderr, "feedlint: warning:", relFinding(f))
+	}
+	return findings, nil
+}
+
+func relPath(path string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, path); err == nil && !filepath.IsAbs(rel) {
+			return rel
+		}
+	}
+	return path
 }
 
 // relFinding renders a finding with the file path relative to the current
 // directory when possible, keeping output stable and short.
 func relFinding(f lint.Finding) string {
-	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			f.Pos.Filename = rel
-		}
-	}
+	f.Pos.Filename = relPath(f.Pos.Filename)
 	return f.String()
 }

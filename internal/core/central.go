@@ -326,9 +326,7 @@ func (m *Manager) ConnectFeed(dataverse, feedName, datasetName, policyName strin
 	}
 
 	if err := m.startTailLocked(conn); err != nil {
-		if conn.trackerStop != nil {
-			close(conn.trackerStop)
-		}
+		conn.stopTracker()
 		return nil, err
 	}
 	m.conns[id] = conn
@@ -700,13 +698,7 @@ func (m *Manager) teardownConnLocked(conn *Connection, graceful bool) {
 	for _, st := range conn.stages {
 		m.dropProductionLocked(st.signature, conn.id)
 	}
-	if conn.trackerStop != nil {
-		select {
-		case <-conn.trackerStop:
-		default:
-			close(conn.trackerStop)
-		}
-	}
+	conn.stopTracker()
 	m.registry.Unregister(connMetricPrefix(conn.id))
 	m.derefHeadLocked(conn)
 }

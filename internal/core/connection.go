@@ -120,6 +120,7 @@ type Connection struct {
 	// tracker implements at-least-once delivery when the policy asks.
 	tracker     *ackTracker
 	trackerStop chan struct{}
+	trackerOnce sync.Once
 
 	disconnecting chan struct{}
 	discOnce      sync.Once
@@ -247,4 +248,16 @@ func (c *Connection) setState(s ConnState) {
 
 func (c *Connection) signalDisconnect() {
 	c.discOnce.Do(func() { close(c.disconnecting) })
+}
+
+// stopTracker stops the at-least-once ack sweeper, if one was started.
+// The Connection owns trackerStop's lifecycle, so the close lives here
+// rather than at teardown call sites; the Once makes it idempotent under
+// concurrent teardown paths (a bare select-default guard is not — two
+// goroutines can both miss the closed case and double-close).
+func (c *Connection) stopTracker() {
+	if c.trackerStop == nil {
+		return
+	}
+	c.trackerOnce.Do(func() { close(c.trackerStop) })
 }

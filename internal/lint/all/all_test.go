@@ -1,0 +1,56 @@
+package all_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"asterixfeeds/internal/lint/all"
+)
+
+// nonAnalyzerDirs are internal/lint subdirectories that do not implement
+// an analyzer.
+var nonAnalyzerDirs = map[string]bool{
+	"all":      true,
+	"ipa":      true,
+	"linttest": true,
+	"testdata": true,
+}
+
+// TestEveryAnalyzerRegistered enumerates internal/lint's analyzer
+// directories and asserts each one appears in the registry, so adding an
+// analyzer package without wiring it into feedlint fails CI.
+func TestEveryAnalyzerRegistered(t *testing.T) {
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := make(map[string]bool)
+	for _, a := range all.Analyzers() {
+		registered[a.Name()] = true
+	}
+	for _, e := range entries {
+		if !e.IsDir() || nonAnalyzerDirs[e.Name()] {
+			continue
+		}
+		if !registered[e.Name()] {
+			t.Errorf("analyzer package internal/lint/%s is not registered in all.Analyzers()", e.Name())
+		}
+	}
+	if len(registered) != len(all.Analyzers()) {
+		t.Error("duplicate analyzer names in all.Analyzers()")
+	}
+}
+
+// TestFeedlintUsesRegistry pins cmd/feedlint to the registry: the
+// command must build its analyzer list from all.Analyzers(), not a
+// private copy that can drift.
+func TestFeedlintUsesRegistry(t *testing.T) {
+	src, err := os.ReadFile("../../../cmd/feedlint/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "all.Analyzers()") {
+		t.Error("cmd/feedlint/main.go does not call all.Analyzers(); the command and the registry can drift")
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"go/build/constraint"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// errAllFilesExcluded marks a directory whose every Go file sits behind an
+// unsatisfied build constraint; LoadAll skips such packages after the
+// exclusions are recorded in Loader.Skipped.
+var errAllFilesExcluded = errors.New("every Go file excluded by build constraints")
+
+// knownOS and knownArch are the GOOS/GOARCH values recognized in filename
+// suffixes (foo_linux.go, foo_amd64.go, foo_linux_amd64.go), mirroring the
+// go tool's list closely enough for this module's sources.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// unixOS mirrors the go tool's "unix" build-tag set for the systems above.
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// excludedByBuild reports whether the file is excluded from this build by
+// its filename suffix or a //go:build (or legacy // +build) constraint,
+// and why. The loader previously dropped such files without a trace —
+// feedlint -v now surfaces every exclusion via Loader.Skipped.
+func excludedByBuild(name string, src []byte) (reason string, excluded bool) {
+	if goos, goarch, ok := filenameConstraint(name); ok {
+		if goos != "" && goos != runtime.GOOS {
+			return fmt.Sprintf("filename requires GOOS=%s (have %s)", goos, runtime.GOOS), true
+		}
+		if goarch != "" && goarch != runtime.GOARCH {
+			return fmt.Sprintf("filename requires GOARCH=%s (have %s)", goarch, runtime.GOARCH), true
+		}
+	}
+	expr, ok := headerConstraint(src)
+	if !ok {
+		return "", false
+	}
+	if !expr.Eval(satisfiedTag) {
+		return fmt.Sprintf("build constraint %q not satisfied", expr.String()), true
+	}
+	return "", false
+}
+
+// filenameConstraint extracts the implicit GOOS/GOARCH constraint from a
+// filename: name_GOOS.go, name_GOARCH.go, or name_GOOS_GOARCH.go. A file
+// whose entire base name is the tag (e.g. linux.go) carries no constraint,
+// matching the go tool.
+func filenameConstraint(name string) (goos, goarch string, ok bool) {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return "", "", false
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		goarch = last
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			goos = parts[len(parts)-2]
+		}
+		return goos, goarch, true
+	}
+	if knownOS[last] {
+		return last, "", true
+	}
+	return "", "", false
+}
+
+// headerConstraint scans the lines before the package clause for a
+// //go:build line (preferred) or legacy // +build lines and parses them.
+func headerConstraint(src []byte) (constraint.Expr, bool) {
+	var plusBuild []constraint.Expr
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) {
+				if expr, err := constraint.Parse(line); err == nil {
+					// A //go:build line supersedes any +build lines.
+					return expr, true
+				}
+			}
+			if constraint.IsPlusBuild(line) {
+				if expr, err := constraint.Parse(line); err == nil {
+					plusBuild = append(plusBuild, expr)
+				}
+			}
+			continue
+		}
+		// First non-blank, non-comment line: the constraint block is over.
+		// (A /* ... */ header comment cannot hold build constraints.)
+		break
+	}
+	if len(plusBuild) == 0 {
+		return nil, false
+	}
+	// Multiple +build lines AND together.
+	expr := plusBuild[0]
+	for _, e := range plusBuild[1:] {
+		expr = &constraint.AndExpr{X: expr, Y: e}
+	}
+	return expr, true
+}
+
+// satisfiedTag reports whether one build tag holds for the running
+// toolchain: the host GOOS/GOARCH, the gc compiler, the "unix" family
+// tag, and go1.N version tags up to the current release. Custom tags are
+// never set (feedlint has no -tags flag), so they evaluate false.
+func satisfiedTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		minor, err := strconv.Atoi(rest)
+		return err == nil && minor <= currentGoMinor()
+	}
+	return false
+}
+
+func currentGoMinor() int {
+	v := runtime.Version() // "go1.24.0" or "devel ..."
+	rest, ok := strings.CutPrefix(v, "go1.")
+	if !ok {
+		return 999 // development toolchains satisfy every release tag
+	}
+	if i := strings.IndexByte(rest, '.'); i >= 0 {
+		rest = rest[:i]
+	}
+	minor, err := strconv.Atoi(rest)
+	if err != nil {
+		return 999
+	}
+	return minor
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestLoaderReportsTagSkippedFiles is the regression test for the silent
+// build-tag skip: a file behind an unsatisfiable constraint must still
+// load the rest of its package cleanly AND leave a record in
+// Loader.Skipped so feedlint -v can report it.
+func TestLoaderReportsTagSkippedFiles(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "tagmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "tagmod/pkg" {
+		t.Fatalf("loaded %d packages, want just tagmod/pkg", len(pkgs))
+	}
+	// The excluded siblings re-declare Value; type errors here mean a
+	// tagged file leaked into the package.
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Errorf("tagmod/pkg has type errors (tagged file leaked in?): %v", pkgs[0].TypeErrors)
+	}
+	want := map[string]string{
+		"skip_custom.go": "feedlintneverset",
+		"skip_ignore.go": "ignore",
+		"skip_legacy.go": "feedlintneverset",
+	}
+	got := make(map[string]string)
+	for _, s := range loader.Skipped {
+		got[filepath.Base(s.Path)] = s.Reason
+	}
+	for file, tag := range want {
+		reason, ok := got[file]
+		if !ok {
+			t.Errorf("%s: not reported in Loader.Skipped", file)
+			continue
+		}
+		if !strings.Contains(reason, tag) {
+			t.Errorf("%s: reason %q does not name tag %q", file, reason, tag)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("Skipped = %v, want exactly %d entries", got, len(want))
+	}
+}
+
+func TestFilenameConstraint(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	cases := []struct {
+		name     string
+		excluded bool
+	}{
+		{"plain.go", false},
+		{"wal_batch.go", false},              // "batch" is no GOOS/GOARCH
+		{"x_" + runtime.GOOS + ".go", false}, // host OS: included
+		{"x_" + otherOS + ".go", true},       // foreign OS: excluded
+		{"x_" + otherOS + "_amd64.go", true}, // foreign OS wins even with host arch
+		{"x_mips64.go", runtime.GOARCH != "mips64"},
+		{otherOS + ".go", false}, // whole basename is never a constraint
+	}
+	for _, c := range cases {
+		_, excluded := excludedByBuild(c.name, nil)
+		if excluded != c.excluded {
+			t.Errorf("excludedByBuild(%q) = %v, want %v", c.name, excluded, c.excluded)
+		}
+	}
+}

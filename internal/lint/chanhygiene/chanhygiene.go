@@ -1,0 +1,585 @@
+// Package chanhygiene enforces channel ownership and lifecycle rules
+// interprocedurally:
+//
+//  1. close of a non-owned channel — a function may close channels it
+//     made, channels hanging off its receiver, and its own package's
+//     globals; closing through a caller-supplied struct reaches into
+//     another component's lifecycle. The check is interprocedural: a
+//     helper that closes its channel parameter (directly or through more
+//     calls, via the ipa ClosesParams summary) transfers the obligation
+//     to its call sites, so passing somebody else's channel into a
+//     closing helper is flagged at the call.
+//  2. send on a maybe-closed channel — a send that follows, on the same
+//     path, a close of the same channel (again including closes hidden
+//     inside callees) panics at runtime.
+//  3. for { select } loops with no way out — a condition-less for whose
+//     body is select-driven and contains no return, no labeled break, no
+//     goto out, and no panic/exit can never terminate; its goroutine
+//     leaks. An unlabeled break inside a select case exits the select,
+//     not the loop, and gets its own message because it usually means
+//     the author thought otherwise.
+package chanhygiene
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"asterixfeeds/internal/lint"
+	"asterixfeeds/internal/lint/ipa"
+)
+
+// Analyzer implements lint.ModuleAnalyzer.
+type Analyzer struct{}
+
+// New returns the chanhygiene analyzer.
+func New() *Analyzer { return &Analyzer{} }
+
+// Name implements lint.Analyzer.
+func (*Analyzer) Name() string { return "chanhygiene" }
+
+// Doc implements lint.Analyzer.
+func (*Analyzer) Doc() string {
+	return "channel ownership on close, sends after possible close, and inescapable for/select loops"
+}
+
+// RunModule implements lint.ModuleAnalyzer.
+func (*Analyzer) RunModule(pkgs []*lint.Package) []lint.Finding {
+	prog := ipa.For(pkgs)
+	c := &checker{prog: prog}
+	for _, fn := range prog.SortedFuncs() {
+		c.checkFunc(fn)
+	}
+	sortFindings(c.findings)
+	return c.findings
+}
+
+type checker struct {
+	prog     *ipa.Program
+	findings []lint.Finding
+}
+
+func (c *checker) report(fn *ipa.Func, pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, lint.Finding{
+		Pos:     fn.Pkg.Fset.Position(pos),
+		Rule:    "chanhygiene",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func sortFindings(fs []lint.Finding) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := fs[j-1], fs[j]
+			if a.Pos.Filename < b.Pos.Filename || (a.Pos.Filename == b.Pos.Filename && a.Pos.Line <= b.Pos.Line) {
+				break
+			}
+			fs[j-1], fs[j] = b, a
+		}
+	}
+}
+
+// ownership classifies how fn reached a channel expression.
+type ownership int
+
+const (
+	ownedHere    ownership = iota // made locally, receiver field, own global
+	ownParamChan                  // the bare channel parameter: obligation moves to callers
+	ownForeign                    // caller-supplied struct's field, foreign global, …
+)
+
+// fnScope is the per-function (or per-literal) analysis scope.
+type fnScope struct {
+	fn *ipa.Func
+	// madeLocals are local variables assigned from make(chan …) or from a
+	// composite literal / constructor — things this scope created.
+	madeLocals map[types.Object]bool
+	// recv is the method receiver object, if any.
+	recv types.Object
+	// params maps channel-typed parameter objects to their index.
+	params map[types.Object]int
+}
+
+func (c *checker) checkFunc(fn *ipa.Func) {
+	sc := c.newScope(fn, fn.Decl.Body, fn.Decl.Type, fn.Decl.Recv)
+	c.walkBody(sc, fn.Decl.Body.List, map[string]token.Position{})
+	c.checkLoops(fn)
+}
+
+// newScope builds the scope for a function declaration or literal body.
+func (c *checker) newScope(fn *ipa.Func, body *ast.BlockStmt, ftype *ast.FuncType, recv *ast.FieldList) *fnScope {
+	sc := &fnScope{fn: fn, madeLocals: map[types.Object]bool{}, params: map[types.Object]int{}}
+	if recv != nil && len(recv.List) == 1 && len(recv.List[0].Names) == 1 {
+		sc.recv = fn.Pkg.Info.Defs[recv.List[0].Names[0]]
+	}
+	idx := 0
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for _, name := range field.Names {
+				obj := fn.Pkg.Info.Defs[name]
+				if obj != nil {
+					if _, ok := obj.Type().Underlying().(*types.Chan); ok {
+						sc.params[obj] = idx
+					}
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	// Locals created in this scope: flow-insensitive, which only widens
+	// ownership (fewer findings), never fabricates one.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := fn.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = fn.Pkg.Info.Uses[id]
+			}
+			if obj == nil || i >= len(as.Rhs) && len(as.Rhs) != 1 {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if createsValue(rhs) {
+				sc.madeLocals[obj] = true
+			}
+		}
+		return true
+	})
+	return sc
+}
+
+// createsValue reports whether the expression constructs a fresh value:
+// make(...), composite literals, &composite, or any call (constructors
+// return values the caller now owns).
+func createsValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return true
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && createsValue(e.X)
+	}
+	return false
+}
+
+// classify determines the ownership of channel expression e in scope sc.
+func (c *checker) classify(sc *fnScope, e ast.Expr) (ownership, string) {
+	e = ast.Unparen(e)
+	root := e
+	for {
+		if sel, ok := root.(*ast.SelectorExpr); ok {
+			root = ast.Unparen(sel.X)
+			continue
+		}
+		if idx, ok := root.(*ast.IndexExpr); ok {
+			root = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return ownedHere, "" // unknown shapes: stay quiet
+	}
+	obj := sc.fn.Pkg.Info.Uses[id]
+	if obj == nil {
+		obj = sc.fn.Pkg.Info.Defs[id]
+	}
+	if obj == nil {
+		return ownedHere, ""
+	}
+	// Package-qualified global: pkg.Var.
+	if _, isPkg := obj.(*types.PkgName); isPkg {
+		return ownForeign, "package " + id.Name
+	}
+	if obj == sc.recv {
+		return ownedHere, ""
+	}
+	if sc.madeLocals[obj] {
+		return ownedHere, ""
+	}
+	if _, isParam := sc.params[obj]; isParam && root == e {
+		return ownParamChan, ""
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if v.Parent() == sc.fn.Pkg.Pkg.Scope() {
+			return ownedHere, "" // own package's global
+		}
+		if root != e {
+			// Field or element of something we did not create.
+			owner := ownerDesc(sc, v)
+			if isParamObj(sc, obj) {
+				return ownForeign, owner
+			}
+			// Field of some other local (e.g. loop variable over a foreign
+			// slice): too murky to call foreign, stay quiet.
+			return ownedHere, ""
+		}
+		// Bare local that was never assigned a fresh value: it aliases
+		// something (often received as an argument-by-closure); stay quiet.
+		return ownedHere, ""
+	}
+	return ownedHere, ""
+}
+
+func isParamObj(sc *fnScope, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	sig, ok := sc.fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return true
+		}
+	}
+	// Also the receiver-less case: parameters of the literal scope.
+	_, isChanParam := sc.params[obj]
+	return isChanParam
+}
+
+// ownerDesc names the owner of a foreign channel for messages: the
+// named type of the caller-supplied value it hangs off.
+func ownerDesc(sc *fnScope, v *types.Var) string {
+	t := v.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return "caller-supplied " + n.Obj().Name()
+	}
+	return "a caller-supplied value"
+}
+
+// walkBody walks statements in execution order. closed maps the
+// canonical text of channel expressions to the position where they were
+// (possibly) closed on this path.
+func (c *checker) walkBody(sc *fnScope, stmts []ast.Stmt, closed map[string]token.Position) {
+	for _, s := range stmts {
+		c.walkStmt(sc, s, closed)
+	}
+}
+
+func cloneClosed(m map[string]token.Position) map[string]token.Position {
+	out := make(map[string]token.Position, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *checker) walkStmt(sc *fnScope, s ast.Stmt, closed map[string]token.Position) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.walkExpr(sc, s.X, closed)
+	case *ast.SendStmt:
+		c.walkExpr(sc, s.Value, closed)
+		key := types.ExprString(ast.Unparen(s.Chan))
+		if pos, ok := closed[key]; ok {
+			c.report(sc.fn, s.Arrow, "send on %s, which may already be closed (closed at line %d); send on a closed channel panics", key, pos.Line)
+		}
+		c.walkExpr(sc, s.Chan, closed)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.walkExpr(sc, e, closed)
+		}
+		for _, lhs := range s.Lhs {
+			// Reassignment makes the old closed fact stale.
+			delete(closed, types.ExprString(ast.Unparen(lhs)))
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.walkExpr(sc, e, closed)
+		}
+	case *ast.IncDecStmt:
+		c.walkExpr(sc, s.X, closed)
+	case *ast.GoStmt:
+		c.walkExpr(sc, s.Call, cloneClosed(closed))
+	case *ast.DeferStmt:
+		c.walkExpr(sc, s.Call, cloneClosed(closed))
+	case *ast.BlockStmt:
+		c.walkBody(sc, s.List, closed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(sc, s.Init, closed)
+		}
+		c.walkExpr(sc, s.Cond, closed)
+		c.walkBody(sc, s.Body.List, cloneClosed(closed))
+		if s.Else != nil {
+			c.walkStmt(sc, s.Else, cloneClosed(closed))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(sc, s.Init, closed)
+		}
+		if s.Cond != nil {
+			c.walkExpr(sc, s.Cond, closed)
+		}
+		if s.Post != nil {
+			c.walkStmt(sc, s.Post, closed)
+		}
+		c.walkBody(sc, s.Body.List, closed) // loop: closes persist into next iteration
+	case *ast.RangeStmt:
+		c.walkExpr(sc, s.X, closed)
+		c.walkBody(sc, s.Body.List, closed)
+	case *ast.LabeledStmt:
+		c.walkStmt(sc, s.Stmt, closed)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(sc, s.Init, closed)
+		}
+		if s.Tag != nil {
+			c.walkExpr(sc, s.Tag, closed)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkBody(sc, cc.Body, cloneClosed(closed))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkBody(sc, cc.Body, cloneClosed(closed))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				inner := cloneClosed(closed)
+				if cc.Comm != nil {
+					c.walkStmt(sc, cc.Comm, inner)
+				}
+				c.walkBody(sc, cc.Body, inner)
+			}
+		}
+	}
+}
+
+// walkExpr visits calls and function literals in an expression.
+func (c *checker) walkExpr(sc *fnScope, e ast.Expr, closed map[string]token.Position) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal is its own ownership scope: channels it did not
+			// make are borrowed from the environment, but locals it makes
+			// are its to close. Closed-state starts fresh (the literal may
+			// run at any time).
+			lit := c.newScope(sc.fn, n.Body, n.Type, nil)
+			lit.recv = sc.recv // method literals still belong to the receiver
+			for obj := range sc.madeLocals {
+				lit.madeLocals[obj] = true // closures over locally-made channels stay owned
+			}
+			c.walkBody(lit, n.Body.List, map[string]token.Position{})
+			return false
+		case *ast.CallExpr:
+			c.checkCall(sc, n, closed)
+			for _, arg := range n.Args {
+				c.walkExpr(sc, arg, closed)
+			}
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				inner := c.newScope(sc.fn, lit.Body, lit.Type, nil)
+				inner.recv = sc.recv
+				for obj := range sc.madeLocals {
+					inner.madeLocals[obj] = true
+				}
+				c.walkBody(inner, lit.Body.List, closed)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// checkCall handles close(e) and calls into channel-closing helpers.
+func (c *checker) checkCall(sc *fnScope, call *ast.CallExpr, closed map[string]token.Position) {
+	pos := sc.fn.Pkg.Fset.Position(call.Pos())
+
+	// Builtin close.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := sc.fn.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) == 1 {
+			arg := ast.Unparen(call.Args[0])
+			own, owner := c.classify(sc, arg)
+			if own == ownForeign {
+				c.report(sc.fn, call.Pos(), "close of %s reaches into %s's lifecycle; only the channel's creator should close it",
+					types.ExprString(arg), owner)
+			}
+			closed[types.ExprString(arg)] = pos
+			return
+		}
+	}
+
+	// Call into a helper that closes one of its channel parameters.
+	for _, target := range c.prog.TargetsOf(call) {
+		for idx, site := range target.Summary.ClosesParams {
+			if idx >= len(call.Args) {
+				continue
+			}
+			arg := ast.Unparen(call.Args[idx])
+			own, owner := c.classify(sc, arg)
+			key := types.ExprString(arg)
+			if own == ownForeign {
+				c.report(sc.fn, call.Pos(), "passes %s, owned by %s, to %s which closes it%s; only the channel's creator should close it",
+					key, owner, target.Display(), site.Via())
+			}
+			closed[key] = pos
+		}
+	}
+}
+
+// checkLoops flags for{select} loops that cannot terminate.
+func (c *checker) checkLoops(fn *ipa.Func) {
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		hasSelect := false
+		for _, s := range loop.Body.List {
+			inner := s
+			if ls, ok := inner.(*ast.LabeledStmt); ok {
+				inner = ls.Stmt
+			}
+			if _, ok := inner.(*ast.SelectStmt); ok {
+				hasSelect = true
+				break
+			}
+		}
+		if !hasSelect {
+			return true
+		}
+		exits, selectBreaks := loopExits(loop)
+		if exits {
+			return true
+		}
+		if selectBreaks > 0 {
+			c.report(fn, loop.For, "for/select loop can never exit: its break statements leave the select, not the loop; use a labeled break or return")
+		} else {
+			c.report(fn, loop.For, "for/select loop has no exit (no return, labeled break, or goto); the goroutine running it can never stop")
+		}
+		return true
+	})
+}
+
+// loopExits reports whether the condition-less loop body contains a
+// statement that leaves the loop, and counts unlabeled breaks that bind
+// to an inner select/switch instead.
+func loopExits(loop *ast.ForStmt) (exits bool, selectBreaks int) {
+	// breakable tracks the nearest enclosing construct an unlabeled break
+	// would bind to: the loop itself, or an inner select/switch/for.
+	var scan func(n ast.Node, breakableIsLoop bool)
+	scan = func(n ast.Node, breakableIsLoop bool) {
+		if n == nil || exits {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.GOTO:
+				exits = true // assume it leaves; false negatives beat noise
+			case token.BREAK:
+				if n.Label != nil {
+					exits = true // labels on a condition-less select loop leave it
+				} else if breakableIsLoop {
+					exits = true
+				} else {
+					selectBreaks++
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" {
+						exits = true
+					}
+				case *ast.SelectorExpr:
+					switch fun.Sel.Name {
+					case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+						exits = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			for _, s := range n.Body.List {
+				scan(s, false)
+			}
+			return
+		case *ast.RangeStmt:
+			for _, s := range n.Body.List {
+				scan(s, false)
+			}
+			return
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						scan(s, false)
+					}
+				}
+			}
+			return
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var body *ast.BlockStmt
+			if sw, ok := n.(*ast.SwitchStmt); ok {
+				body = sw.Body
+			} else {
+				body = n.(*ast.TypeSwitchStmt).Body
+			}
+			for _, cl := range body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					for _, s := range cc.Body {
+						scan(s, false)
+					}
+				}
+			}
+			return
+		case *ast.IfStmt:
+			scan(n.Body, breakableIsLoop)
+			if n.Else != nil {
+				scan(n.Else, breakableIsLoop)
+			}
+			return
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				scan(s, breakableIsLoop)
+			}
+			return
+		case *ast.LabeledStmt:
+			scan(n.Stmt, breakableIsLoop)
+			return
+		case *ast.GoStmt:
+			return // another goroutine's statements do not exit this loop
+		}
+	}
+	for _, s := range loop.Body.List {
+		scan(s, true)
+	}
+	return exits, selectBreaks
+}

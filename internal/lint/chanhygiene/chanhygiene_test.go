@@ -1,0 +1,20 @@
+package chanhygiene_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/chanhygiene"
+	"asterixfeeds/internal/lint/linttest"
+)
+
+func TestChanhygieneFixture(t *testing.T) {
+	linttest.RunGolden(t, "chanmod", chanhygiene.New())
+}
+
+func TestChanhygieneCleanFixture(t *testing.T) {
+	pkgs, root := linttest.Fixture(t, "cleanmod")
+	findings := chanhygiene.New().RunModule(pkgs)
+	if out := linttest.Format(root, findings); out != "" {
+		t.Errorf("chanhygiene reported findings on the clean fixture:\n%s", out)
+	}
+}

@@ -1,0 +1,20 @@
+package hooknil_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/hooknil"
+	"asterixfeeds/internal/lint/linttest"
+)
+
+func TestHooknilFixture(t *testing.T) {
+	linttest.RunGolden(t, "hooknilmod", hooknil.New(nil))
+}
+
+func TestHooknilCleanFixture(t *testing.T) {
+	pkgs, root := linttest.Fixture(t, "cleanmod")
+	findings := hooknil.New(nil).RunModule(pkgs)
+	if out := linttest.Format(root, findings); out != "" {
+		t.Errorf("hooknil reported findings on the clean fixture:\n%s", out)
+	}
+}

@@ -1,0 +1,215 @@
+package ipa
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"asterixfeeds/internal/lint"
+)
+
+// LockKey identifies a lock abstractly, the way a lock-order graph needs:
+// by the struct field (or package-level variable) that holds it, not by
+// the runtime instance. Two acquisitions of different Tree instances'
+// mu share the key lsm.Tree.mu — exactly the granularity at which a
+// global acquisition order must exist.
+type LockKey struct {
+	// Owner is the qualified owner: the defining named type
+	// ("asterixfeeds/internal/lsm.Tree") for struct fields, the package
+	// path for package-level variables, or "local:<func>" for locks the
+	// analysis cannot correlate across functions (locals, parameters).
+	Owner string
+	// Field is the field or variable name holding the lock.
+	Field string
+}
+
+// Global reports whether the key names a lock correlatable across
+// functions (a struct field or package-level variable).
+func (k LockKey) Global() bool { return !strings.HasPrefix(k.Owner, "local:") && k.Owner != "" }
+
+// String renders the short display form, e.g. "lsm.Tree.mu".
+func (k LockKey) String() string {
+	owner := k.Owner
+	if i := strings.LastIndexByte(owner, '/'); i >= 0 {
+		owner = owner[i+1:]
+	}
+	owner = strings.TrimPrefix(owner, "local:")
+	if owner == "" {
+		return k.Field
+	}
+	return owner + "." + k.Field
+}
+
+func (k LockKey) less(o LockKey) bool {
+	if k.Owner != o.Owner {
+		return k.Owner < o.Owner
+	}
+	return k.Field < o.Field
+}
+
+// LockOp describes one recognized x.Lock()/x.RLock()/x.Unlock()/
+// x.RUnlock() call on a sync.Mutex or sync.RWMutex (possibly promoted
+// through an embedded field).
+type LockOp struct {
+	// Key abstracts the lock; see LockKey.
+	Key LockKey
+	// Op is the method name: Lock, RLock, Unlock, RUnlock.
+	Op string
+	// Acquire is true for Lock and RLock.
+	Acquire bool
+	// Read is true for RLock and RUnlock.
+	Read bool
+	// Expr is the receiver's source text, for messages ("t.mu").
+	Expr string
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "Unlock": true, "RUnlock": true}
+
+// LockOpAt recognizes a lock operation at a call expression. It requires
+// type information: without it no operation is reported (analyzers on a
+// type-broken package degrade to doing nothing rather than guessing).
+func LockOpAt(pkg *lint.Package, call *ast.CallExpr) (LockOp, bool) {
+	if len(call.Args) != 0 {
+		return LockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !lockMethods[sel.Sel.Name] {
+		return LockOp{}, false
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return LockOp{}, false
+	}
+	mobj := selection.Obj()
+	if mobj.Pkg() == nil || mobj.Pkg().Path() != "sync" {
+		return LockOp{}, false
+	}
+	op := LockOp{
+		Op:      sel.Sel.Name,
+		Acquire: sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock",
+		Read:    sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock",
+		Expr:    types.ExprString(sel.X),
+	}
+	op.Key = lockKeyOf(pkg, sel, selection)
+	return op, true
+}
+
+// lockKeyOf derives the abstract lock identity for a recognized lock
+// method selection.
+func lockKeyOf(pkg *lint.Package, sel *ast.SelectorExpr, selection *types.Selection) LockKey {
+	// Promoted method (t.Lock() with an embedded sync.Mutex): the owner
+	// is t's named type and the lock lives in the embedded field the
+	// selection path enters first.
+	if idx := selection.Index(); len(idx) > 1 {
+		recv := derefNamed(selection.Recv())
+		if recv != nil {
+			if st, ok := recv.Underlying().(*types.Struct); ok && idx[0] < st.NumFields() {
+				return LockKey{Owner: qualifiedName(recv), Field: st.Field(idx[0]).Name()}
+			}
+		}
+	}
+	return exprLockKey(pkg, sel.X)
+}
+
+// exprLockKey keys the receiver expression of a lock call: x.mu by its
+// owning type and field, a package-level mu by its package, anything
+// else (locals, parameters, map/slice elements of locals) as local.
+func exprLockKey(pkg *lint.Package, e ast.Expr) LockKey {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if fieldSel, ok := pkg.Info.Selections[e]; ok && fieldSel.Kind() == types.FieldVal {
+			if recv := derefNamed(fieldSel.Recv()); recv != nil {
+				// Nested promoted fields: key by the outermost named
+				// owner and the final field name.
+				return LockKey{Owner: qualifiedName(recv), Field: fieldSel.Obj().Name()}
+			}
+		}
+		// Package-qualified variable, pkg.mu.
+		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && objIsPkgLevel(obj) {
+			return LockKey{Owner: obj.Pkg().Path(), Field: obj.Name()}
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[e].(*types.Var); ok && obj.Pkg() != nil && objIsPkgLevel(obj) {
+			return LockKey{Owner: obj.Pkg().Path(), Field: obj.Name()}
+		}
+	case *ast.IndexExpr:
+		k := exprLockKey(pkg, e.X)
+		if k.Global() {
+			return LockKey{Owner: k.Owner, Field: k.Field + "[]"}
+		}
+	case *ast.StarExpr:
+		return exprLockKey(pkg, e.X)
+	}
+	return LockKey{Owner: "local:" + pkg.Path, Field: types.ExprString(e)}
+}
+
+func objIsPkgLevel(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// derefNamed unwraps pointers and returns the named type, if any.
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func qualifiedName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// CondVarKey abstracts the receiver of a sync.Cond method call (Wait,
+// Signal, Broadcast) the same way locks are keyed, so the wait can be
+// matched against Program.CondBinding.
+func CondVarKey(pkg *lint.Package, call *ast.CallExpr) (LockKey, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return LockKey{}, false
+	}
+	return exprLockKey(pkg, sel.X), true
+}
+
+// BlockingCallAt recognizes the blocking method calls tracked beyond
+// channel operations: sync.WaitGroup.Wait, sync.Cond.Wait, and
+// (*os.File).Sync — the fsync that froze group commit when reached with
+// the tree lock held.
+func BlockingCallAt(pkg *lint.Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	mobj := selection.Obj()
+	if mobj.Pkg() == nil {
+		return "", false
+	}
+	// The selection receiver may be an embedder promoting the method, so
+	// classify by the method's own declared receiver type instead.
+	declRecv := ""
+	if sig, ok := mobj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := derefNamed(sig.Recv().Type()); n != nil {
+			declRecv = n.Obj().Name()
+		}
+	}
+	switch {
+	case mobj.Pkg().Path() == "sync" && sel.Sel.Name == "Wait":
+		switch declRecv {
+		case "WaitGroup":
+			return KindWGWait, true
+		case "Cond":
+			return KindCondWait, true
+		}
+	case mobj.Pkg().Path() == "os" && sel.Sel.Name == "Sync" && declRecv == "File":
+		return KindSync, true
+	}
+	return "", false
+}

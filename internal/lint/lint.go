@@ -4,8 +4,10 @@
 // depends on invariants no compiler checks: layering between the dataflow
 // engine, storage, and the feed runtime; lock discipline on hot paths; and
 // goroutine hygiene in the ingestion pipeline. Analyzers live in
-// subpackages (archrule, mutexcheck, goleak, errdrop, simclock) and are
-// driven by cmd/feedlint.
+// subpackages — per-package checks (archrule, mutexcheck, goleak,
+// errdrop, simclock) and whole-module interprocedural checks built on the
+// internal/lint/ipa call-graph engine (lockorder, hooknil, chanhygiene) —
+// are registered in internal/lint/all and driven by cmd/feedlint.
 package lint
 
 import (
@@ -13,8 +15,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Finding is one rule violation at a source position.
@@ -30,14 +35,31 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
 }
 
-// Analyzer is a single named check run over one package at a time.
+// Analyzer is the common surface of every check. Concrete analyzers also
+// implement PackageAnalyzer (independent per-package checks) or
+// ModuleAnalyzer (whole-module checks needing the cross-package view, e.g.
+// the interprocedural analyzers built on internal/lint/ipa).
 type Analyzer interface {
 	// Name is the rule id printed in findings, e.g. "archrule".
 	Name() string
 	// Doc is a one-line description shown by feedlint -list.
 	Doc() string
+}
+
+// PackageAnalyzer is a check run over one package at a time; packages may
+// be analyzed concurrently, so Run must not mutate analyzer state.
+type PackageAnalyzer interface {
+	Analyzer
 	// Run reports violations found in pkg.
 	Run(pkg *Package) []Finding
+}
+
+// ModuleAnalyzer is a check run once over the whole loaded module, for
+// rules that cross package boundaries (call graphs, lock-order graphs).
+type ModuleAnalyzer interface {
+	Analyzer
+	// RunModule reports violations found anywhere in pkgs.
+	RunModule(pkgs []*Package) []Finding
 }
 
 // Package is one loaded, parsed, type-checked package handed to analyzers.
@@ -105,28 +127,52 @@ func MatchAny(patterns []string, path string) bool {
 // it, suppresses findings of that rule (or every rule, for "all").
 const allowDirective = "//feedlint:allow"
 
-// suppressions maps file -> line -> set of rule names allowed there.
-type suppressions map[string]map[string]map[string]bool
-
-func (s suppressions) add(file string, line int, rule string) {
-	if s[file] == nil {
-		s[file] = make(map[string]map[string]bool)
-	}
-	key := fmt.Sprint(line)
-	if s[file][key] == nil {
-		s[file][key] = make(map[string]bool)
-	}
-	s[file][key][rule] = true
+// AllowSite is one rule named by a //feedlint:allow directive, kept so the
+// audit can report directives that no longer suppress anything.
+type AllowSite struct {
+	// Pos locates the directive comment.
+	Pos token.Position
+	// Rule is one rule name the directive waives ("all" waives every rule).
+	Rule string
+	used bool
 }
 
-func (s suppressions) allows(f Finding) bool {
-	lines := s[f.Pos.Filename]
+// suppressions maps file -> line -> rule name -> directive site.
+type suppressions struct {
+	byLine map[string]map[int]map[string]*AllowSite
+	sites  []*AllowSite
+}
+
+func newSuppressions() *suppressions {
+	return &suppressions{byLine: make(map[string]map[int]map[string]*AllowSite)}
+}
+
+func (s *suppressions) add(pos token.Position, rule string) {
+	if s.byLine[pos.Filename] == nil {
+		s.byLine[pos.Filename] = make(map[int]map[string]*AllowSite)
+	}
+	if s.byLine[pos.Filename][pos.Line] == nil {
+		s.byLine[pos.Filename][pos.Line] = make(map[string]*AllowSite)
+	}
+	if s.byLine[pos.Filename][pos.Line][rule] != nil {
+		return
+	}
+	site := &AllowSite{Pos: pos, Rule: rule}
+	s.byLine[pos.Filename][pos.Line][rule] = site
+	s.sites = append(s.sites, site)
+}
+
+// allows reports whether f is waived by a directive on its line or the
+// line above, marking the matching directive as used.
+func (s *suppressions) allows(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		if rules := lines[fmt.Sprint(line)]; rules != nil {
-			if rules[f.Rule] || rules["all"] {
+		for _, rule := range []string{f.Rule, "all"} {
+			if site := lines[line][rule]; site != nil {
+				site.used = true
 				return true
 			}
 		}
@@ -134,8 +180,29 @@ func (s suppressions) allows(f Finding) bool {
 	return false
 }
 
+// unused returns the directive sites that suppressed nothing, sorted.
+func (s *suppressions) unused() []AllowSite {
+	var out []AllowSite
+	for _, site := range s.sites {
+		if !site.used {
+			out = append(out, *site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
 // collectSuppressions scans a package's comments for allow directives.
-func collectSuppressions(pkg *Package, sup suppressions) {
+func collectSuppressions(pkg *Package, sup *suppressions) {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
@@ -150,28 +217,97 @@ func collectSuppressions(pkg *Package, sup suppressions) {
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				for _, rule := range strings.Fields(rest) {
-					sup.add(pos.Filename, pos.Line, rule)
+					sup.add(pos, rule)
 				}
 			}
 		}
 	}
 }
 
+// Stats carries the run's side products: wall time per analyzer (summed
+// across packages) and the stale-suppression audit.
+type Stats struct {
+	// AnalyzerTime is the cumulative Run/RunModule wall time per analyzer.
+	AnalyzerTime map[string]time.Duration
+	// UnusedAllows lists //feedlint:allow directives that suppressed no
+	// finding in this run — stale waivers that should be deleted.
+	UnusedAllows []AllowSite
+}
+
 // Run executes every analyzer over every package, drops suppressed
 // findings, and returns the remainder sorted by file, line, and rule.
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
-	sup := make(suppressions)
+	findings, _ := RunWithStats(pkgs, analyzers)
+	return findings
+}
+
+// RunWithStats is Run plus per-analyzer timings and the stale-allow audit.
+// Package analyzers run concurrently across packages (one worker per
+// package, bounded by GOMAXPROCS); module analyzers run concurrently with
+// each other. Analyzers must therefore keep Run/RunModule free of shared
+// mutable state.
+func RunWithStats(pkgs []*Package, analyzers []Analyzer) ([]Finding, Stats) {
+	sup := newSuppressions()
 	for _, pkg := range pkgs {
 		collectSuppressions(pkg, sup)
 	}
-	var out []Finding
+
+	var pkgAnalyzers []PackageAnalyzer
+	var modAnalyzers []ModuleAnalyzer
+	stats := Stats{AnalyzerTime: make(map[string]time.Duration)}
+	for _, a := range analyzers {
+		switch a := a.(type) {
+		case PackageAnalyzer:
+			pkgAnalyzers = append(pkgAnalyzers, a)
+		case ModuleAnalyzer:
+			modAnalyzers = append(modAnalyzers, a)
+		default:
+			panic(fmt.Sprintf("lint: analyzer %s implements neither PackageAnalyzer nor ModuleAnalyzer", a.Name()))
+		}
+	}
+
+	var (
+		mu  sync.Mutex
+		raw []Finding
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	)
+	record := func(name string, elapsed time.Duration, findings []Finding) {
+		mu.Lock()
+		defer mu.Unlock()
+		stats.AnalyzerTime[name] += elapsed
+		raw = append(raw, findings...)
+	}
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			for _, f := range a.Run(pkg) {
-				if !sup.allows(f) {
-					out = append(out, f)
-				}
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, a := range pkgAnalyzers {
+				start := time.Now()
+				fs := a.Run(pkg)
+				record(a.Name(), time.Since(start), fs)
 			}
+		}(pkg)
+	}
+	for _, a := range modAnalyzers {
+		wg.Add(1)
+		go func(a ModuleAnalyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			fs := a.RunModule(pkgs)
+			record(a.Name(), time.Since(start), fs)
+		}(a)
+	}
+	wg.Wait()
+
+	var out []Finding
+	for _, f := range raw {
+		if !sup.allows(f) {
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -187,5 +323,6 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	stats.UnusedAllows = sup.unused()
+	return out, stats
 }

@@ -4,12 +4,8 @@ import (
 	"testing"
 
 	"asterixfeeds/internal/lint"
-	"asterixfeeds/internal/lint/archrule"
-	"asterixfeeds/internal/lint/errdrop"
-	"asterixfeeds/internal/lint/goleak"
+	"asterixfeeds/internal/lint/all"
 	"asterixfeeds/internal/lint/linttest"
-	"asterixfeeds/internal/lint/mutexcheck"
-	"asterixfeeds/internal/lint/simclock"
 )
 
 func TestMatchPath(t *testing.T) {
@@ -33,17 +29,11 @@ func TestMatchPath(t *testing.T) {
 	}
 }
 
-// TestCleanFixture runs the full analyzer suite over the clean fixture —
-// which exercises goroutines, locks, durability calls, and clocks without
-// breaking any rule — and expects an empty golden.
+// TestCleanFixture runs the full registered analyzer suite over the
+// clean fixture — which exercises goroutines, locks, durability calls,
+// and clocks without breaking any rule — and expects an empty golden.
 func TestCleanFixture(t *testing.T) {
-	linttest.RunGolden(t, "cleanmod",
-		archrule.New(nil),
-		mutexcheck.New(),
-		goleak.New(nil),
-		errdrop.New(nil),
-		simclock.New(nil),
-	)
+	linttest.RunGolden(t, "cleanmod", all.Analyzers()...)
 }
 
 // TestLoaderResolvesModule checks that the loader finds a fixture module
@@ -91,13 +81,7 @@ func TestRepoIsLintClean(t *testing.T) {
 			t.Errorf("package %s: type error: %v", p.Path, terr)
 		}
 	}
-	findings := lint.Run(pkgs, []lint.Analyzer{
-		archrule.New(nil),
-		mutexcheck.New(),
-		goleak.New(nil),
-		errdrop.New(nil),
-		simclock.New(nil),
-	})
+	findings := lint.Run(pkgs, all.Analyzers())
 	for _, f := range findings {
 		t.Errorf("%s", f)
 	}

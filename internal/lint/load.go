@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -11,21 +12,69 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// sharedFset positions every file any Loader in this process parses or
+// imports. Sharing one FileSet (token.FileSet is safe for concurrent use)
+// is what lets the expensive stdlib importers below be memoized across
+// loaders: a types.Package produced for one fixture module is reusable by
+// the next, instead of re-type-checking the standard library per module.
+var sharedFset = token.NewFileSet()
+
+// stdImporters hands out the process-wide stdlib importers. The "source"
+// importer type-checks the standard library from $GOROOT/src (no build
+// cache needed); the "gc" importer reads compiled export data and is an
+// order of magnitude faster, but depends on the toolchain's build cache
+// (feedlint -faststd). Both memoize imported packages internally, and both
+// are serialized by stdMu because neither documents concurrency safety.
+var stdImporters struct {
+	once   sync.Once
+	source types.ImporterFrom
+	gc     types.ImporterFrom
+}
+
+var stdMu sync.Mutex
+
+func stdImporter(fast bool) types.ImporterFrom {
+	stdImporters.once.Do(func() {
+		stdImporters.source = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+		stdImporters.gc = importer.ForCompiler(sharedFset, "gc", nil).(types.ImporterFrom)
+	})
+	if fast {
+		return stdImporters.gc
+	}
+	return stdImporters.source
+}
+
+// SkippedFile records a source file the loader excluded from analysis,
+// with the build constraint that excluded it. feedlint -v prints these so
+// an unsatisfiable tag can never silently hide a file from the analyzers.
+type SkippedFile struct {
+	// Path is the absolute path of the excluded file.
+	Path string
+	// Reason names the constraint, e.g. `build tags "windows" not satisfied`.
+	Reason string
+}
 
 // Loader parses and type-checks every package of one Go module using only
 // the standard library. Stdlib imports are resolved from source via
-// go/importer's "source" compiler, so no build cache or export data is
-// required; module-internal imports are resolved recursively by the loader
-// itself.
+// go/importer's "source" compiler by default (no build cache or export
+// data required) or from gc export data when FastStd is set;
+// module-internal imports are resolved recursively by the loader itself.
 type Loader struct {
 	// RootDir is the absolute directory containing go.mod.
 	RootDir string
 	// Module is the module path declared in go.mod.
 	Module string
+	// FastStd, when set before the first Load, resolves stdlib imports
+	// from compiled export data instead of type-checking $GOROOT/src.
+	// Much faster, but requires a primed toolchain build cache.
+	FastStd bool
+	// Skipped lists files excluded by build constraints, in load order.
+	Skipped []SkippedFile
 
 	fset    *token.FileSet
-	std     types.ImporterFrom
 	pkgs    map[string]*Package
 	loading map[string]bool
 }
@@ -52,12 +101,10 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
 		RootDir: root,
 		Module:  modPath,
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		fset:    sharedFset,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 	}, nil
@@ -122,6 +169,11 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	out := make([]*Package, 0, len(paths))
 	for _, p := range paths {
 		pkg, err := l.Load(p)
+		if errors.Is(err, errAllFilesExcluded) {
+			// Every file in the directory is behind an unsatisfied build
+			// constraint; the exclusions are recorded in l.Skipped.
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -166,18 +218,32 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
 	}
 	var files []*ast.File
+	excluded := 0
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: read %s: %w", name, err)
+		}
+		if reason, ok := excludedByBuild(name, src); ok {
+			l.Skipped = append(l.Skipped, SkippedFile{Path: path, Reason: reason})
+			excluded++
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
+		if excluded > 0 {
+			return nil, fmt.Errorf("lint: %s: %w", importPath, errAllFilesExcluded)
+		}
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 
@@ -224,5 +290,10 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		}
 		return pkg.Pkg, nil
 	}
-	return l.std.ImportFrom(path, dir, mode)
+	// Stdlib packages go through the process-wide memoized importer; the
+	// mutex serializes loaders running in parallel (test binaries, the
+	// per-root goroutines in cmd/feedlint) over its internal cache.
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return stdImporter(l.FastStd).ImportFrom(path, dir, mode)
 }

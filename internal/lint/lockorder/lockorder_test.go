@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"asterixfeeds/internal/lint/linttest"
+	"asterixfeeds/internal/lint/lockorder"
+)
+
+func TestLockorderFixture(t *testing.T) {
+	linttest.RunGolden(t, "lockordermod", lockorder.New())
+}
+
+func TestLockorderCleanFixture(t *testing.T) {
+	pkgs, root := linttest.Fixture(t, "cleanmod")
+	findings := lockorder.New().RunModule(pkgs)
+	if out := linttest.Format(root, findings); out != "" {
+		t.Errorf("lockorder reported findings on the clean fixture:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module chanmod
+
+go 1.22

@@ -1,0 +1,76 @@
+// Package pkg is the chanhygiene known-bad fixture: closes of channels
+// the function does not own (directly and through closing helpers),
+// sends racing a possible close, and for/select loops with no way out.
+package pkg
+
+// Worker owns its channels; outsiders must not close them.
+type Worker struct {
+	Stop chan struct{}
+	Out  chan int
+}
+
+// KillForeign closes a channel owned by a caller-supplied Worker.
+func KillForeign(w *Worker) {
+	close(w.Stop)
+}
+
+// drainAndClose is a closing helper: the close obligation moves to its
+// call sites.
+func drainAndClose(ch chan int) {
+	for range ch {
+	}
+	close(ch)
+}
+
+// closeVia pushes the obligation one call deeper.
+func closeVia(ch chan int) {
+	drainAndClose(ch)
+}
+
+// BadDelegate hands a foreign channel to the closing helper.
+func BadDelegate(w *Worker) {
+	drainAndClose(w.Out)
+}
+
+// BadDelegateDeep does the same through two levels.
+func BadDelegateDeep(w *Worker) {
+	closeVia(w.Out)
+}
+
+// SendAfterClose sends on a channel it just closed.
+func SendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1
+}
+
+// SendAfterHelperClose reaches the close through the helper first.
+func SendAfterHelperClose() {
+	ch := make(chan int, 1)
+	drainAndClose(ch)
+	ch <- 2
+}
+
+// Leak spins a for/select worker with no exit at all.
+func Leak(in chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// FakeStop thinks break leaves the loop; it only leaves the select.
+func FakeStop(stop chan struct{}, in chan int) {
+	for {
+		select {
+		case <-stop:
+			break
+		case v := <-in:
+			_ = v
+		}
+	}
+}

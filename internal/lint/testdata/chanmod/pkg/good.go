@@ -1,0 +1,51 @@
+package pkg
+
+// NewWorker builds a worker that owns its channels.
+func NewWorker() *Worker {
+	return &Worker{Stop: make(chan struct{}), Out: make(chan int)}
+}
+
+// Close shuts down through the owner: receiver fields are the method's
+// to close.
+func (w *Worker) Close() {
+	close(w.Stop)
+}
+
+// OwnerDelegate made the channel, so it may hand it to a closing helper.
+func OwnerDelegate() {
+	ch := make(chan int)
+	drainAndClose(ch)
+}
+
+// Run is the well-formed worker loop: the stop case returns.
+func (w *Worker) Run() {
+	for {
+		select {
+		case <-w.Stop:
+			return
+		case v := <-w.Out:
+			_ = v
+		}
+	}
+}
+
+// LabeledStop exits with a labeled break.
+func LabeledStop(stop chan struct{}, in chan int) {
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// SendThenClose is the legal order: all sends happen before the close.
+func SendThenClose() {
+	ch := make(chan int, 2)
+	ch <- 1
+	ch <- 2
+	close(ch)
+}

@@ -1,0 +1,3 @@
+module hooknilmod
+
+go 1.22

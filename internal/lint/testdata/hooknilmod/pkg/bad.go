@@ -1,0 +1,36 @@
+package pkg
+
+// Bad calls the optional hook with no guard at all.
+func Bad(o *Options) {
+	o.Hook("event")
+}
+
+// BadCopy hides the hook behind a local copy before the unguarded call.
+func BadCopy(o *Options) {
+	h := o.Hook
+	h("event")
+}
+
+// BadPass hands the unchecked hook to a helper; the dereference is one
+// call away.
+func BadPass(o *Options) {
+	invoke(o.Hook)
+}
+
+// BadDeep routes it through two helpers.
+func BadDeep(o *Options) {
+	relay(o.Hook)
+}
+
+func relay(f func(string)) {
+	invoke(f)
+}
+
+func invoke(f func(string)) {
+	f("event")
+}
+
+// BadObserver uses the other optional field unguarded.
+func BadObserver(o *Options) {
+	o.Observer(1)
+}

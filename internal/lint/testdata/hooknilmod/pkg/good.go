@@ -1,0 +1,37 @@
+package pkg
+
+// Good guards the call directly; the comparison doubles as the nil
+// evidence that makes Hook optional.
+func Good(o *Options) {
+	if o.Hook != nil {
+		o.Hook("event")
+	}
+}
+
+// GoodEarlyReturn proves the hook non-nil for the rest of the body.
+func GoodEarlyReturn(o *Options) {
+	if o.Hook == nil {
+		return
+	}
+	o.Hook("event")
+}
+
+// fire is the declared nil-safe wrapper: it owns the nil contract.
+//
+//feedlint:nilsafe
+func fire(f func(string)) {
+	if f != nil {
+		f("event")
+	}
+}
+
+// GoodWrapped routes the hook through the declared wrapper.
+func GoodWrapped(o *Options) {
+	fire(o.Hook)
+}
+
+// CallMust calls the mandatory callback: no nil evidence exists for
+// Must.CB, so it is not an optional hook and needs no guard.
+func CallMust(m *Must) {
+	m.CB()
+}

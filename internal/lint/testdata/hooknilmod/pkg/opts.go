@@ -1,0 +1,23 @@
+// Package pkg is the hooknil fixture: Options carries optional hook
+// fields (the module nil-checks them, so they are evidently optional),
+// while Must.CB is mandatory — nothing ever nil-checks it.
+package pkg
+
+// Options carries the optional hooks.
+type Options struct {
+	// Hook observes events; nil means no observer.
+	Hook func(string)
+	// Observer counts frames; nil means no counter.
+	Observer func(int)
+}
+
+// Must carries a mandatory callback: no nil evidence anywhere.
+type Must struct {
+	CB func()
+}
+
+// Configured reports whether an observer is installed; this comparison
+// is the nil evidence that makes Observer optional.
+func Configured(o *Options) bool {
+	return o.Observer != nil
+}

@@ -1,0 +1,3 @@
+module ipamod
+
+go 1.22

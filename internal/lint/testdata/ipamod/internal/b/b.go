@@ -1,0 +1,14 @@
+// Package b implements shared.Waiter; Dispatch resolves to (*W).Await
+// through method-set resolution, across packages.
+package b
+
+import "ipamod/internal/shared"
+
+// W waits on its channel.
+type W struct{ C chan struct{} }
+
+// Await blocks receiving from w.C.
+func (w *W) Await() { <-w.C }
+
+// Dispatch calls through the interface.
+func Dispatch(x shared.Waiter) { x.Await() }

@@ -1,0 +1,23 @@
+// Package shared holds the types the ipa engine tests resolve against:
+// a struct-field lock, an embedded (promoted) lock, and an interface
+// dispatched across packages.
+package shared
+
+import "sync"
+
+// Res guards N with a plain struct-field mutex.
+type Res struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Embedded promotes Lock/Unlock from an embedded sync.Mutex.
+type Embedded struct {
+	sync.Mutex
+	V int
+}
+
+// Waiter is implemented in package b; package a dispatches through it.
+type Waiter interface {
+	Await()
+}

@@ -1,0 +1,3 @@
+module lockordermod
+
+go 1.22

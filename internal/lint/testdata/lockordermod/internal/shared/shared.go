@@ -1,0 +1,17 @@
+// Package shared holds the lock-bearing types the fixture's functions
+// acquire in conflicting orders.
+package shared
+
+import "sync"
+
+// Ingest guards the ingest side.
+type Ingest struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Commit guards the commit side.
+type Commit struct {
+	Mu sync.Mutex
+	N  int
+}

@@ -1,0 +1,66 @@
+// Package pkg is the lockorder known-bad fixture: an A→B/B→A
+// acquisition cycle established through a helper call, a transitive
+// block under a held lock, a direct file Sync under lock, and the
+// defer-LIFO hazard where a deferred Sync runs before the deferred
+// Unlock.
+package pkg
+
+import (
+	"os"
+	"sync"
+
+	"lockordermod/internal/shared"
+)
+
+// lockCommit acquires the commit lock; callers holding the ingest lock
+// establish the Ingest→Commit edge through this helper.
+func lockCommit(c *shared.Commit) {
+	c.Mu.Lock()
+	c.N++
+	c.Mu.Unlock()
+}
+
+// IngestThenCommit holds Ingest.Mu while lockCommit takes Commit.Mu.
+func IngestThenCommit(i *shared.Ingest, c *shared.Commit) {
+	i.Mu.Lock()
+	defer i.Mu.Unlock()
+	lockCommit(c)
+}
+
+// CommitThenIngest takes the same two locks in the opposite order,
+// closing the cycle.
+func CommitThenIngest(i *shared.Ingest, c *shared.Commit) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	i.Mu.Lock()
+	i.N++
+	i.Mu.Unlock()
+}
+
+// waitAll blocks on the group; WaitUnderLock reaches it with a lock held.
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// WaitUnderLock holds Ingest.Mu into a transitive WaitGroup.Wait.
+func WaitUnderLock(i *shared.Ingest, wg *sync.WaitGroup) {
+	i.Mu.Lock()
+	defer i.Mu.Unlock()
+	waitAll(wg)
+}
+
+// SyncUnderLock calls a blocking file Sync directly under the lock.
+func SyncUnderLock(i *shared.Ingest, f *os.File) error {
+	i.Mu.Lock()
+	defer i.Mu.Unlock()
+	return f.Sync()
+}
+
+// DeferHazard registers the Sync after the Unlock: LIFO order runs the
+// Sync first, while the lock is still held.
+func DeferHazard(i *shared.Ingest, f *os.File) {
+	i.Mu.Lock()
+	defer i.Mu.Unlock()
+	defer f.Sync()
+	i.N++
+}

@@ -1,0 +1,8 @@
+// Package pkg exercises the loader's build-constraint handling: the
+// sibling files are excluded by unsatisfiable tags and each re-declares
+// Value, so the package only type-checks if the loader really skips them
+// (and reports the skips).
+package pkg
+
+// Value is re-declared by every excluded sibling file.
+const Value = "portable"

@@ -1,0 +1,5 @@
+//go:build feedlintneverset
+
+package pkg
+
+const Value = "custom-tagged"

@@ -1,0 +1,5 @@
+//go:build ignore
+
+package pkg
+
+const Value = "ignored"

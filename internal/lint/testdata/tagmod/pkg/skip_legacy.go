@@ -1,0 +1,5 @@
+// +build feedlintneverset
+
+package pkg
+
+const Value = "legacy-tagged"

@@ -135,29 +135,59 @@ func (t *Tree) Delete(key []byte) error {
 	return t.apply(walDelete, key, nil)
 }
 
+// apply is two-phase group commit: the WAL append and memtable update run
+// under the tree lock, the fsync that acknowledges durability runs after
+// it is released. A mutation may therefore be visible to readers before it
+// is durable — standard for group commit; the caller must not ack until
+// apply returns nil.
 func (t *Tree) apply(kind walRecordKind, key, value []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return fmt.Errorf("lsm: tree closed")
-	}
-	if err := t.wal.append(kind, key, value); err != nil {
+	syncDue, err := t.applyLocked(kind, key, value)
+	if err != nil {
 		return err
 	}
-	k := append([]byte(nil), key...)
-	v := append([]byte(nil), value...)
-	t.mem.put(k, v, kind == walDelete)
-	if t.mem.size() >= t.opt.MemtableBytes {
-		return t.flushLocked()
+	if syncDue {
+		return t.wal.fsync()
 	}
 	return nil
 }
 
+// applyLocked appends to the WAL and updates the memtable, reporting
+// whether the caller owes the group-commit fsync once the lock is
+// released.
+func (t *Tree) applyLocked(kind walRecordKind, key, value []byte) (syncDue bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false, fmt.Errorf("lsm: tree closed")
+	}
+	if err := t.wal.append(kind, key, value); err != nil {
+		return false, err
+	}
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	t.mem.put(k, v, kind == walDelete)
+	syncDue, err = t.wal.flushDue()
+	if err != nil {
+		return false, err
+	}
+	if t.mem.size() >= t.opt.MemtableBytes {
+		// The flush truncates the WAL, making any pending fsync moot. The
+		// memtable swap, run publish, and truncation must be atomic, so the
+		// flush (and its run-file fsync) stays under the lock; the
+		// resulting writer stall is the tree's backpressure mechanism.
+		//feedlint:allow lockorder -- flush-under-lock is deliberate backpressure; see flushLocked
+		return false, t.flushLocked()
+	}
+	return syncDue, nil
+}
+
 // ApplyBatch applies every operation in b under a single lock acquisition:
-// one composite WAL record (one CRC, and — per Options.SyncWAL — at most one
-// deferred fsync: group commit) followed by a sorted skiplist insertion that
-// reuses the predecessor search across adjacent keys. Operations land in the
-// memtable with the same last-writer-wins outcome as applying them in order.
+// one composite WAL record (one CRC) followed by a sorted skiplist insertion
+// that reuses the predecessor search across adjacent keys. Per
+// Options.SyncWAL the batch owes at most one fsync — group commit — which
+// runs after the lock is released, so durability waits never stall readers.
+// Operations land in the memtable with the same last-writer-wins outcome as
+// applying them in order.
 //
 // The tree takes ownership of the batch's key and value slices (see Batch);
 // the Batch itself may be Reset and reused once ApplyBatch returns.
@@ -165,19 +195,37 @@ func (t *Tree) ApplyBatch(b *Batch) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
 	}
+	syncDue, err := t.applyBatchLocked(b)
+	if err != nil {
+		return err
+	}
+	if syncDue {
+		return t.wal.fsync()
+	}
+	return nil
+}
+
+// applyBatchLocked is the under-lock half of ApplyBatch; like applyLocked
+// it leaves the group-commit fsync to the caller.
+func (t *Tree) applyBatchLocked(b *Batch) (syncDue bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return fmt.Errorf("lsm: tree closed")
+		return false, fmt.Errorf("lsm: tree closed")
 	}
 	if err := t.wal.appendBatch(b.ops); err != nil {
-		return err
+		return false, err
 	}
 	t.mem.putBatch(b.ops)
-	if t.mem.size() >= t.opt.MemtableBytes {
-		return t.flushLocked()
+	syncDue, err = t.wal.flushDue()
+	if err != nil {
+		return false, err
 	}
-	return nil
+	if t.mem.size() >= t.opt.MemtableBytes {
+		// The flush truncates the WAL, making any pending fsync moot.
+		return false, t.flushLocked()
+	}
+	return syncDue, nil
 }
 
 // Get returns the value for key, or ok=false if absent or deleted.

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // walRecordKind distinguishes WAL record types. The kind byte doubles as a
@@ -35,9 +36,15 @@ type wal struct {
 	// syncEvery groups fsyncs: 0 disables syncing (tests), 1 syncs every
 	// append, n>1 syncs every n appends. A batch counts as a single append,
 	// so syncEvery=1 over batches is group commit: one deferred fsync per
-	// batch rather than one per record.
+	// batch rather than one per record. The commit is two-phase: appends
+	// and the threshold decision (flushDue) happen under the tree lock,
+	// the fsync itself (fsync) after it is released.
 	syncEvery int
 	pending   int
+	// syncMu is the group-commit gate: it serializes fsync so concurrent
+	// committers queue on the durability wait without holding the tree
+	// lock, keeping readers and memtable writers unblocked by a slow disk.
+	syncMu sync.Mutex
 	// scratch is the reusable encoding buffer for batch records, so the
 	// steady-state batch path does not allocate per append.
 	scratch []byte
@@ -127,9 +134,6 @@ func (w *wal) append(kind walRecordKind, key, value []byte) error {
 		w.metrics.WALBytes.Add(int64(4 + n + len(key) + len(value)))
 	}
 	w.pending++
-	if w.syncEvery > 0 && w.pending >= w.syncEvery {
-		return w.sync()
-	}
 	return nil
 }
 
@@ -185,27 +189,41 @@ func (w *wal) appendBatch(ops []batchOp) error {
 		w.metrics.WALBytes.Add(int64(4 + len(body)))
 	}
 	w.pending++
-	if w.syncEvery > 0 && w.pending >= w.syncEvery {
-		return w.sync()
-	}
 	return nil
 }
 
-// sync flushes buffered records and fsyncs the file.
-func (w *wal) sync() error {
+// flushDue is the buffered half of group commit. Called with the tree
+// lock held after a successful append, it decides whether this append
+// crossed the syncEvery threshold and, if so, flushes the buffered
+// records to the OS. The fsync itself is the caller's to run via fsync —
+// after releasing the tree lock — so a stalled disk blocks only the
+// committers waiting on durability, never the lock.
+func (w *wal) flushDue() (bool, error) {
+	if w.syncEvery <= 0 || w.pending < w.syncEvery {
+		return false, nil
+	}
 	if w.fault != nil {
 		if err := w.fault("wal.sync"); err != nil {
-			return err
+			return false, err
 		}
 	}
 	w.pending = 0
 	if err := w.w.Flush(); err != nil {
-		return err
+		return false, err
 	}
 	if w.metrics != nil {
 		w.metrics.WALSyncs.Add(1)
 	}
-	return w.f.Sync()
+	return true, nil
+}
+
+// fsync durably persists records already flushed by flushDue. It must be
+// called without the tree lock; syncMu exists solely to gate this one
+// call, so holding it into the Sync is the mechanism, not a hazard.
+func (w *wal) fsync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	return w.f.Sync() //feedlint:allow lockorder -- syncMu is the dedicated group-commit gate for this fsync
 }
 
 // close flushes and closes the WAL file.

@@ -98,6 +98,10 @@ func (m *Mongo) commitLoop() {
 		}
 		if m.pendingSeq > m.commitSeq {
 			m.journal.Flush()
+			// Writers with j:1 semantics block on commitCond until this
+			// fsync lands; holding journalMu across it models exactly the
+			// MongoDB journaled-write stall the experiments measure.
+			//feedlint:allow lockorder -- models MongoDB j:1 group-commit stall by design
 			m.journalFile.Sync()
 			m.commitSeq = m.pendingSeq
 			m.commitCond.Broadcast()
