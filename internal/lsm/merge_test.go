@@ -1,0 +1,181 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildRun writes entries (sorted, unique) as a run file under dir.
+func buildRun(t *testing.T, dir string, seq int, entries []entry) *run {
+	t.Helper()
+	r, err := writeRun(filepath.Join(dir, fmt.Sprintf("run-%06d.lsm", seq)), entries)
+	if err != nil {
+		t.Fatalf("writeRun: %v", err)
+	}
+	return r
+}
+
+func e(key, value string) entry { return entry{key: []byte(key), value: []byte(value)} }
+func tomb(key string) entry     { return entry{key: []byte(key), tombstone: true} }
+func runEntries(t *testing.T, r *run) []entry {
+	t.Helper()
+	out := make([]entry, 0, r.len())
+	for it := r.iter(nil); it.valid(); it.next() {
+		ent, err := it.curr()
+		if err != nil {
+			t.Fatalf("curr: %v", err)
+		}
+		out = append(out, ent)
+	}
+	return out
+}
+
+// TestMergeRunsNewestWins checks that when a key appears in several input
+// runs, the streaming merge keeps the version from the newest (lowest-index)
+// run and discards the rest.
+func TestMergeRunsNewestWins(t *testing.T) {
+	dir := t.TempDir()
+	old := buildRun(t, dir, 1, []entry{e("a", "old-a"), e("b", "old-b"), e("d", "old-d")})
+	mid := buildRun(t, dir, 2, []entry{e("b", "mid-b"), e("c", "mid-c")})
+	newer := buildRun(t, dir, 3, []entry{e("a", "new-a"), e("c", "new-c")})
+	defer old.close()
+	defer mid.close()
+	defer newer.close()
+
+	merged, err := mergeRuns(filepath.Join(dir, "run-000004.lsm"), []*run{newer, mid, old})
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	defer merged.close()
+
+	want := map[string]string{"a": "new-a", "b": "mid-b", "c": "new-c", "d": "old-d"}
+	got := runEntries(t, merged)
+	if len(got) != len(want) {
+		t.Fatalf("merged has %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for _, ent := range got {
+		if ent.tombstone {
+			t.Fatalf("unexpected tombstone for %q", ent.key)
+		}
+		if want[string(ent.key)] != string(ent.value) {
+			t.Fatalf("key %q = %q, want %q", ent.key, ent.value, want[string(ent.key)])
+		}
+	}
+}
+
+// TestMergeRunsDropsTombstones checks that a full merge elides tombstones
+// and the puts they mask — including a tombstone whose key only exists in
+// the same (newest) run carrying it.
+func TestMergeRunsDropsTombstones(t *testing.T) {
+	dir := t.TempDir()
+	old := buildRun(t, dir, 1, []entry{e("a", "va"), e("b", "vb"), e("c", "vc")})
+	newer := buildRun(t, dir, 2, []entry{tomb("b"), tomb("z")})
+	defer old.close()
+	defer newer.close()
+
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old})
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	defer merged.close()
+
+	got := runEntries(t, merged)
+	if len(got) != 2 {
+		t.Fatalf("merged has %d entries, want 2 (a, c): %+v", len(got), got)
+	}
+	if string(got[0].key) != "a" || string(got[1].key) != "c" {
+		t.Fatalf("merged keys = %q, %q; want a, c", got[0].key, got[1].key)
+	}
+}
+
+// TestMergeRunsResurrectionMasked checks ordering subtlety: a tombstone in a
+// newer run must beat a live put for the same key in an older run even when
+// other keys interleave around it.
+func TestMergeRunsResurrectionMasked(t *testing.T) {
+	dir := t.TempDir()
+	old := buildRun(t, dir, 1, []entry{e("k1", "v1"), e("k2", "v2"), e("k3", "v3")})
+	newer := buildRun(t, dir, 2, []entry{tomb("k2")})
+	defer old.close()
+	defer newer.close()
+
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old})
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	defer merged.close()
+	for _, ent := range runEntries(t, merged) {
+		if string(ent.key) == "k2" {
+			t.Fatalf("k2 resurrected: %+v", ent)
+		}
+	}
+}
+
+// TestMergeRunsAllTombstones checks the empty-output case: a merge whose
+// every key is deleted produces a valid zero-entry run.
+func TestMergeRunsAllTombstones(t *testing.T) {
+	dir := t.TempDir()
+	old := buildRun(t, dir, 1, []entry{e("a", "va"), e("b", "vb")})
+	newer := buildRun(t, dir, 2, []entry{tomb("a"), tomb("b")})
+	defer old.close()
+	defer newer.close()
+
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old})
+	if err != nil {
+		t.Fatalf("mergeRuns: %v", err)
+	}
+	defer merged.close()
+	if merged.len() != 0 {
+		t.Fatalf("merged has %d entries, want 0", merged.len())
+	}
+	// The empty run must survive a reopen.
+	re, err := openRun(merged.path)
+	if err != nil {
+		t.Fatalf("reopening empty run: %v", err)
+	}
+	defer re.close()
+	if re.len() != 0 {
+		t.Fatalf("reopened run has %d entries, want 0", re.len())
+	}
+}
+
+// TestRunWriterAtomicity checks the tmp+rename protocol: an aborted writer
+// leaves no file at the destination and no temp debris, and a crashed
+// writer's temp file is swept by Open.
+func TestRunWriterAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run-000001.lsm")
+	rw, err := newRunWriter(path, 4)
+	if err != nil {
+		t.Fatalf("newRunWriter: %v", err)
+	}
+	if err := rw.add(e("a", "va")); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if err := rw.abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("aborted run visible at %s", path)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("abort left temp file")
+	}
+
+	// Simulate a crash mid-write: temp file exists, never renamed.
+	if err := os.WriteFile(path+".tmp", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer tr.Close()
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("Open did not sweep leftover temp file")
+	}
+	if got := tr.Stats().Runs; got != 0 {
+		t.Fatalf("Open loaded %d runs from debris, want 0", got)
+	}
+}

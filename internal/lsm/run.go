@@ -26,68 +26,178 @@ type run struct {
 	bloom *bloomFilter
 }
 
-// writeRun persists entries (which must be sorted by key, unique) as a run
-// file at path and returns the opened run.
-func writeRun(path string, entries []entry) (*run, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// runWriter streams sorted, unique entries into a run file one at a time,
+// holding only the bufio buffer and the bloom filter in memory — never the
+// entry set. It writes to path+".tmp" and renames into place on finish, so
+// a crash mid-write leaves nothing that Open's run-*.lsm glob would load;
+// Open sweeps leftover .tmp files. Either finish or abort must be called
+// exactly once.
+type runWriter struct {
+	path    string
+	tmp     string
+	f       *os.File
+	w       *bufio.Writer
+	bloom   *bloomFilter
+	count   int
+	scratch [2*binary.MaxVarintLen32 + 1]byte
+}
+
+// newRunWriter starts a run file destined for path. capacityHint sizes the
+// bloom filter; overestimating (e.g. the pre-dedup entry total of a merge's
+// inputs) only lowers the false-positive rate.
+func newRunWriter(path string, capacityHint int) (*runWriter, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: creating run: %w", err)
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
 	if _, err := w.Write(runMagic); err != nil {
 		_ = f.Close()
+		_ = os.Remove(tmp)
 		return nil, err
 	}
-	bloom := newBloomFilter(len(entries))
-	var scratch [2*binary.MaxVarintLen32 + 1]byte
-	for _, e := range entries {
-		bloom.add(e.key)
-		scratch[0] = 0
-		if e.tombstone {
-			scratch[0] = 1
-		}
-		n := 1
-		n += binary.PutUvarint(scratch[n:], uint64(len(e.key)))
-		n += binary.PutUvarint(scratch[n:], uint64(len(e.value)))
-		if _, err := w.Write(scratch[:n]); err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		if _, err := w.Write(e.key); err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		if _, err := w.Write(e.value); err != nil {
-			_ = f.Close()
-			return nil, err
-		}
+	return &runWriter{path: path, tmp: tmp, f: f, w: w, bloom: newBloomFilter(capacityHint)}, nil
+}
+
+// add appends one entry; keys must arrive in strictly ascending order.
+func (rw *runWriter) add(e entry) error {
+	rw.bloom.add(e.key)
+	rw.scratch[0] = 0
+	if e.tombstone {
+		rw.scratch[0] = 1
 	}
+	n := 1
+	n += binary.PutUvarint(rw.scratch[n:], uint64(len(e.key)))
+	n += binary.PutUvarint(rw.scratch[n:], uint64(len(e.value)))
+	if _, err := rw.w.Write(rw.scratch[:n]); err != nil {
+		return err
+	}
+	if _, err := rw.w.Write(e.key); err != nil {
+		return err
+	}
+	if _, err := rw.w.Write(e.value); err != nil {
+		return err
+	}
+	rw.count++
+	return nil
+}
+
+// finish writes the trailer, fsyncs, renames the file into place, and
+// returns the opened run. On failure the temp file is cleaned up; the
+// writer must not be reused.
+func (rw *runWriter) finish() (*run, error) {
 	// Trailer: bloom bytes, bloom length, entry count, magic.
-	bb := bloom.marshal()
-	if _, err := w.Write(bb); err != nil {
-		_ = f.Close()
-		return nil, err
+	bb := rw.bloom.marshal()
+	if _, err := rw.w.Write(bb); err != nil {
+		return nil, rw.fail(err)
 	}
 	var trailer [20]byte
 	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(bb)))
-	binary.LittleEndian.PutUint64(trailer[4:], uint64(len(entries)))
+	binary.LittleEndian.PutUint64(trailer[4:], uint64(rw.count))
 	copy(trailer[12:], runMagic)
-	if _, err := w.Write(trailer[:]); err != nil {
-		_ = f.Close()
+	if _, err := rw.w.Write(trailer[:]); err != nil {
+		return nil, rw.fail(err)
+	}
+	if err := rw.w.Flush(); err != nil {
+		return nil, rw.fail(err)
+	}
+	if err := rw.f.Sync(); err != nil {
+		return nil, rw.fail(err)
+	}
+	if err := rw.f.Close(); err != nil {
+		_ = os.Remove(rw.tmp)
 		return nil, err
 	}
-	if err := w.Flush(); err != nil {
-		_ = f.Close()
+	if err := os.Rename(rw.tmp, rw.path); err != nil {
+		_ = os.Remove(rw.tmp)
 		return nil, err
 	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
+	return openRun(rw.path)
+}
+
+func (rw *runWriter) fail(err error) error {
+	_ = rw.f.Close()
+	_ = os.Remove(rw.tmp)
+	return err
+}
+
+// abort discards the partially written run.
+func (rw *runWriter) abort() error {
+	cerr := rw.f.Close()
+	if err := os.Remove(rw.tmp); err != nil {
+		return err
+	}
+	return cerr
+}
+
+// writeRun persists entries (which must be sorted by key, unique) as a run
+// file at path and returns the opened run.
+func writeRun(path string, entries []entry) (*run, error) {
+	rw, err := newRunWriter(path, len(entries))
+	if err != nil {
 		return nil, err
 	}
-	if err := f.Close(); err != nil {
+	for _, e := range entries {
+		if err := rw.add(e); err != nil {
+			_ = rw.abort()
+			return nil, err
+		}
+	}
+	return rw.finish()
+}
+
+// mergeRuns streams a full k-way merge of runs (ordered newest first) into
+// a new run file at path. Duplicate keys resolve newest-wins; tombstones
+// are dropped entirely, since a full merge leaves no older component for
+// them to mask. Memory stays O(block): one entry per input is materialized
+// at a time, replacing the old merge's whole-dataset []entry slice.
+func mergeRuns(path string, runs []*run) (*run, error) {
+	its := make([]*runIter, len(runs))
+	total := 0
+	for i, r := range runs {
+		its[i] = r.iter(nil)
+		total += r.len()
+	}
+	rw, err := newRunWriter(path, total)
+	if err != nil {
 		return nil, err
 	}
-	return openRun(path)
+	for {
+		// Pick the smallest key; among equals the newest run (lowest
+		// index) wins.
+		best := -1
+		for i, it := range its {
+			if !it.valid() {
+				continue
+			}
+			if best == -1 || bytes.Compare(it.key(), its[best].key()) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		winKey := its[best].key()
+		e, err := its[best].curr()
+		if err != nil {
+			_ = rw.abort()
+			return nil, err
+		}
+		// Advance every iterator past winKey, discarding older versions.
+		for _, it := range its {
+			for it.valid() && bytes.Equal(it.key(), winKey) {
+				it.next()
+			}
+		}
+		if !e.tombstone {
+			if err := rw.add(e); err != nil {
+				_ = rw.abort()
+				return nil, err
+			}
+		}
+	}
+	return rw.finish()
 }
 
 // openRun loads a run's key index and bloom filter from disk.

@@ -89,6 +89,18 @@ func Open(opt Options) (*Tree, error) {
 	}
 	t := &Tree{opt: opt, mem: newMemtable(1)}
 
+	// Sweep temp files from run writes interrupted by a crash: the rename
+	// into place never happened, so their contents are unreferenced.
+	tmps, err := filepath.Glob(filepath.Join(opt.Dir, "run-*.lsm.tmp"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range tmps {
+		if err := os.Remove(p); err != nil {
+			return nil, err
+		}
+	}
+
 	// Load existing runs, newest (highest sequence) first.
 	names, err := filepath.Glob(filepath.Join(opt.Dir, "run-*.lsm"))
 	if err != nil {
@@ -347,45 +359,9 @@ func (t *Tree) mergeLocked() error {
 	if len(t.runs) <= 1 {
 		return nil
 	}
-	its := make([]*runIter, len(t.runs))
-	for i, r := range t.runs {
-		its[i] = r.iter(nil)
-	}
-	var merged []entry
-	for {
-		// Pick the smallest key; among equals the newest run (lowest
-		// index) wins.
-		best := -1
-		for i, it := range its {
-			if !it.valid() {
-				continue
-			}
-			if best == -1 || bytes.Compare(it.key(), its[best].key()) < 0 {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		winKey := its[best].key()
-		e, err := its[best].curr()
-		if err != nil {
-			return err
-		}
-		// Advance every iterator past winKey, discarding older versions.
-		for _, it := range its {
-			for it.valid() && bytes.Equal(it.key(), winKey) {
-				it.next()
-			}
-		}
-		// Tombstones can be dropped entirely during a full merge.
-		if !e.tombstone {
-			merged = append(merged, e)
-		}
-	}
 	t.seq++
 	path := filepath.Join(t.opt.Dir, fmt.Sprintf("run-%06d.lsm", t.seq))
-	nr, err := writeRun(path, merged)
+	nr, err := mergeRuns(path, t.runs)
 	if err != nil {
 		return err
 	}
