@@ -30,6 +30,7 @@ vet:
 # paths still execute end to end without paying for a full measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=InsertPath -benchtime=1x ./internal/storage/
+	$(GO) test -run '^$$' -bench=FlushConcurrency -benchtime=1000x ./internal/lsm/
 
 # Observability smoke: the admin endpoints (/feeds, /metrics, pprof) and
 # the `show feeds` verb against a live socket feed, plus the per-policy

@@ -165,9 +165,16 @@ func newNodeStorage(reg *metrics.Registry, name, dir string, lsmOpt lsm.Options)
 	reg.RegisterCounter(p+".flushes", &lm.Flushes)
 	reg.RegisterCounter(p+".flushed_entries", &lm.FlushedEntries)
 	reg.RegisterCounter(p+".merges", &lm.Merges)
+	reg.RegisterCounter(p+".write_stalls", &lm.WriteStalls)
 	reg.RegisterGaugeFunc(p+".memtable_bytes", func() int64 { return int64(sm.Stats().MemtableBytes) })
 	reg.RegisterGaugeFunc(p+".memtable_entries", func() int64 { return int64(sm.Stats().MemtableEntries) })
 	reg.RegisterGaugeFunc(p+".runs", func() int64 { return int64(sm.Stats().Runs) })
+	// Background-pipeline health: queued frozen memtables waiting on the
+	// flusher and runs beyond MaxRuns waiting on the compactor. Both are
+	// bounded by design; sustained non-zero values mean the disk cannot keep
+	// up with the ingest rate.
+	reg.RegisterGaugeFunc(p+".immutables", func() int64 { return int64(sm.Stats().Immutables) })
+	reg.RegisterGaugeFunc(p+".compaction_debt", func() int64 { return int64(sm.Stats().CompactionDebt) })
 	return sm
 }
 

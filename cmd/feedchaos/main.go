@@ -1,6 +1,7 @@
 // Command feedchaos runs the deterministic fault-injection harness over the
 // feed stack and checks ingestion invariants (at-least-once delivery,
-// index consistency, replica convergence, WAL replay idempotence).
+// index consistency, replica convergence, WAL replay idempotence, and
+// exact recovery of unflushed state from WAL segments).
 //
 // Sweep a seed range (the CI smoke run):
 //

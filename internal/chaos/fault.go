@@ -3,6 +3,8 @@
 // named points threaded through the layers:
 //
 //	lsm:<node>/<partition>/<tree>/<wal-op>  WAL write/fsync errors, torn tails
+//	lsm:<node>/<partition>/<tree>/flush:bg  background flush fails/crashes pre-rename
+//	lsm:<node>/<partition>/<tree>/merge:bg  background merge fails/crashes pre-rename
 //	frame:<node>:<operator>                 node death / stalls at frame boundaries
 //	core:ack:<node>                         lost ack messages
 //	core:resync:insert                      replica re-sync interruption
@@ -10,8 +12,10 @@
 //
 // The scenario runner (Run) drives a TweetGen workload under the schedule
 // and then checks the ingestion invariants the paper promises: at-least-once
-// delivery, primary/secondary index consistency, replica convergence, and
-// WAL replay idempotence. Same seed ⇒ same schedule ⇒ same verdict, so any
+// delivery, primary/secondary index consistency, replica convergence, WAL
+// replay idempotence, and recovery exactness (a reopened partition holds
+// exactly what it held while live, with unflushed memtable state rebuilt
+// from WAL segments). Same seed ⇒ same schedule ⇒ same verdict, so any
 // failing run is a one-line repro.
 package chaos
 
@@ -36,7 +40,10 @@ const (
 	// core ack point it drops the ack message instead.
 	ActErr Action = iota
 	// ActTorn persists a torn prefix of the WAL record, wedges the tree,
-	// and kills the hosting node — a crash mid-write. lsm points only.
+	// and kills the hosting node — a crash mid-write. At the background
+	// points (flush:bg, merge:bg) it instead leaves the half-written run as
+	// temp-file debris and kills the node mid-flush/merge; the WAL segments
+	// still hold every unflushed record for replay. lsm points only.
 	ActTorn
 	// ActKill kills the node at a frame boundary. Frame points only.
 	ActKill

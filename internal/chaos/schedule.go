@@ -34,6 +34,14 @@ var killerMenu = []candidate{
 	{"frame:C:Store", ActKill, 6},
 	{"lsm:B/p000/primary/wal.appendBatch", ActTorn, 6},
 	{"lsm:C/p001/primary/wal.appendBatch", ActTorn, 6},
+	// Crash during a background flush/merge: the node dies after the run's
+	// bytes are written but before the rename publishes it, leaving .tmp
+	// debris; replay of the still-present WAL segments must recover every
+	// unflushed record.
+	{"lsm:B/p000/primary/flush:bg", ActTorn, 3},
+	{"lsm:C/p001/primary/flush:bg", ActTorn, 3},
+	{"lsm:B/p000/primary/merge:bg", ActTorn, 2},
+	{"lsm:C/p001/primary/merge:bg", ActTorn, 2},
 }
 
 var benignMenu = []candidate{
@@ -45,6 +53,13 @@ var benignMenu = []candidate{
 	{"lsm:B/r001/primary/wal.appendBatch", ActErr, 8},
 	{"lsm:B/p000/country_idx/wal.appendBatch", ActErr, 8},
 	{"lsm:C/p001/country_idx/wal.appendBatch", ActErr, 8},
+	// Transient background-pipeline failures (a passing EIO): the flusher
+	// and compactor retry after a beat, and nothing is lost or stalled for
+	// good.
+	{"lsm:B/p000/primary/flush:bg", ActErr, 3},
+	{"lsm:C/p001/primary/flush:bg", ActErr, 3},
+	{"lsm:B/p000/primary/merge:bg", ActErr, 2},
+	{"lsm:C/p001/primary/merge:bg", ActErr, 2},
 	{"core:ack:B", ActErr, 5},
 	{"core:ack:C", ActErr, 5},
 	// The scenario policy spills excess intake backlog to disk; an injected

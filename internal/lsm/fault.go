@@ -2,11 +2,13 @@ package lsm
 
 import "errors"
 
-// FaultHook is consulted at named failure points inside the storage engine
-// ("wal.append", "wal.appendBatch", "wal.sync", "wal.truncate"). A nil return
-// lets the operation proceed; a non-nil return is injected as that
-// operation's outcome. Hooks exist for fault-injection harnesses (see
-// internal/chaos); production code never installs one.
+// FaultHook is consulted at named failure points inside the storage engine:
+// on the write path ("wal.append", "wal.appendBatch", "wal.sync") and in the
+// background pipeline ("flush:bg" before a flushed run's rename publishes
+// it, "merge:bg" before a merged run's rename). A nil return lets the
+// operation proceed; a non-nil return is injected as that operation's
+// outcome. Hooks exist for fault-injection harnesses (see internal/chaos);
+// production code never installs one.
 //
 // Two sentinel errors get special treatment:
 //
@@ -17,7 +19,14 @@ import "errors"
 //     and then wedges the log (every later append returns ErrWALBroken) —
 //     modelling a crash mid-write. The on-disk tail is torn exactly the way
 //     replay's CRC check expects, and the tree must be abandoned and
-//     reopened, as a crashed node's would be.
+//     reopened, as a crashed node's would be. At the background points
+//     ("flush:bg", "merge:bg") it instead leaves the run's temp file as
+//     crash debris and wedges the whole tree: writers start failing, but
+//     the files on disk are exactly what a crash at that instant leaves.
+//
+// ErrInjected at a background point is retried by the flusher/compactor
+// after a short delay, modelling a transient environmental failure that
+// clears (the injection hit-counts do not re-fire).
 type FaultHook func(op string) error
 
 var (

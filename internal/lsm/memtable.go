@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 const maxSkipHeight = 12
@@ -23,13 +24,18 @@ type entry struct {
 }
 
 // memtable is an in-memory ordered map from []byte keys to values, backed by
-// a skiplist. It carries no lock of its own: the owning Tree serializes all
-// access through its RWMutex — mutations run under the write lock, and the
-// read-only methods (get, size, len, entries, iter) under the read lock.
-// (An earlier revision double-locked every insert with a private RWMutex;
-// the Tree's lock already provides exactly the required exclusion, so the
-// inner lock was pure overhead and was removed.)
+// a skiplist. It carries its own RWMutex: readers consult the mutable
+// memtable from a Tree snapshot *without* holding the tree lock (so a slow
+// disk read elsewhere in the snapshot never blocks writers), which means
+// reads here genuinely race with writers mutating the skiplist under the
+// tree lock. The inner lock provides that last bit of exclusion. (An
+// earlier revision removed a private lock as pure overhead when every
+// reader still held the tree lock; the background-pipeline rewrite made it
+// load-bearing and it returned.) Memtables frozen onto the immutable queue
+// receive no further writes, so their reads are contention-free in
+// practice.
 type memtable struct {
+	mu     sync.RWMutex
 	head   *skipNode
 	height int
 	rnd    *rand.Rand
@@ -111,6 +117,8 @@ func (m *memtable) insertAt(key, value []byte, tombstone bool, update *[maxSkipH
 
 // put inserts or replaces key with value (or a tombstone).
 func (m *memtable) put(key, value []byte, tombstone bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var update [maxSkipHeight]*skipNode
 	for i := range update {
 		update[i] = m.head
@@ -131,6 +139,8 @@ func (m *memtable) putBatch(ops []batchOp) {
 	sort.SliceStable(ops, func(i, j int) bool {
 		return bytes.Compare(ops[i].key, ops[j].key) < 0
 	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var update [maxSkipHeight]*skipNode
 	for i := range update {
 		update[i] = m.head
@@ -143,6 +153,8 @@ func (m *memtable) putBatch(ops []batchOp) {
 
 // get returns the entry for key, if present (including tombstones).
 func (m *memtable) get(key []byte) (entry, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	n := m.head
 	for lvl := m.height - 1; lvl >= 0; lvl-- {
 		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, key) < 0 {
@@ -157,16 +169,22 @@ func (m *memtable) get(key []byte) (entry, bool) {
 
 // size reports the approximate byte footprint of the memtable.
 func (m *memtable) size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.bytes
 }
 
 // len reports the number of live entries (including tombstones).
 func (m *memtable) len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.count
 }
 
 // entries returns all entries in key order.
 func (m *memtable) entries() []entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]entry, 0, m.count)
 	for n := m.head.next[0]; n != nil; n = n.next[0] {
 		out = append(out, n.entry)
@@ -176,21 +194,39 @@ func (m *memtable) entries() []entry {
 
 // iter returns an iterator positioned at the first key >= from.
 func (m *memtable) iter(from []byte) *memtableIter {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	n := m.head
 	for lvl := m.height - 1; lvl >= 0; lvl-- {
 		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].key, from) < 0 {
 			n = n.next[lvl]
 		}
 	}
-	return &memtableIter{node: n.next[0]}
+	return &memtableIter{m: m, node: n.next[0]}
 }
 
-// memtableIter iterates a snapshot cursor over the skiplist. The Tree only
-// mutates the memtable under its own lock while no iterators are live.
+// memtableIter iterates a cursor over the skiplist. Each step takes the
+// memtable's read lock: the cursor may be walking the *mutable* memtable
+// while writers insert around it, in which case concurrent insertions at
+// or ahead of the cursor may or may not be observed — the usual contract
+// for reads overlapping writes. A node's key is immutable once published,
+// so key() is lock-free; entry values are replaced wholesale (the slice
+// header swaps, bytes are never mutated in place), so curr() returns a
+// stable view taken under the lock.
 type memtableIter struct {
+	m    *memtable
 	node *skipNode
 }
 
 func (it *memtableIter) valid() bool { return it.node != nil }
-func (it *memtableIter) curr() entry { return it.node.entry }
-func (it *memtableIter) next()       { it.node = it.node.next[0] }
+func (it *memtableIter) key() []byte { return it.node.key }
+func (it *memtableIter) curr() entry {
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	return it.node.entry
+}
+func (it *memtableIter) next() {
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	it.node = it.node.next[0]
+}

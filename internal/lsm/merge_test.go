@@ -44,7 +44,7 @@ func TestMergeRunsNewestWins(t *testing.T) {
 	defer mid.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000004.lsm"), []*run{newer, mid, old})
+	merged, err := mergeRuns(filepath.Join(dir, "run-000004.lsm"), []*run{newer, mid, old}, nil)
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestMergeRunsDropsTombstones(t *testing.T) {
 	defer old.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old})
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil)
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -100,7 +100,7 @@ func TestMergeRunsResurrectionMasked(t *testing.T) {
 	defer old.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old})
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil)
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -121,7 +121,7 @@ func TestMergeRunsAllTombstones(t *testing.T) {
 	defer old.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old})
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil)
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}

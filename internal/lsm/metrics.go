@@ -22,4 +22,10 @@ type Metrics struct {
 	FlushedEntries metrics.Counter
 	// Merges counts full tiered merges.
 	Merges metrics.Counter
+	// WriteStalls counts writer stall episodes: a mutation arrived while
+	// the memtable was full and MaxImmutables flushes were already queued,
+	// so the writer blocked until the background flusher caught up. This
+	// is the tree's bounded-backpressure signal — a rising rate means the
+	// flusher (i.e. the disk) cannot keep up with ingestion.
+	WriteStalls metrics.Counter
 }

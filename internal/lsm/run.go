@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 )
 
 // runMagic identifies the on-disk run format.
@@ -16,6 +18,13 @@ var runMagic = []byte("LSMRUN01")
 // run is an immutable sorted component on disk. Keys (with value offsets and
 // tombstone flags) are held in memory; values are read from the file on
 // demand. A bloom filter prunes point lookups.
+//
+// Runs are reference-counted: the tree's published run list holds one
+// reference, and every read snapshot retains one more for as long as it may
+// touch the file. The last release closes the file handle and signals
+// unused, which the compactor waits on before deleting a merged-away input
+// file — so a reader mid-scan never has a run unlinked under it, and input
+// deletion order (oldest first) stays under the compactor's control.
 type run struct {
 	path  string
 	f     *os.File
@@ -24,6 +33,27 @@ type run struct {
 	vlens []int32
 	tombs []bool
 	bloom *bloomFilter
+
+	refs   atomic.Int32
+	unused chan struct{} // closed when refs reaches zero
+}
+
+// retain pins the run: its file handle stays open (and its file undeleted)
+// until a matching release. Callers must hold a reference already — either
+// the tree lock while the run is in the published list, or a prior retain.
+func (r *run) retain() {
+	r.refs.Add(1)
+}
+
+// release drops one reference. The last release closes the file handle and
+// closes unused; only then may the file be deleted (by the compactor, which
+// waits on unused).
+func (r *run) release() error {
+	if r.refs.Add(-1) != 0 {
+		return nil
+	}
+	close(r.unused)
+	return r.f.Close()
 }
 
 // runWriter streams sorted, unique entries into a run file one at a time,
@@ -152,7 +182,13 @@ func writeRun(path string, entries []entry) (*run, error) {
 // are dropped entirely, since a full merge leaves no older component for
 // them to mask. Memory stays O(block): one entry per input is materialized
 // at a time, replacing the old merge's whole-dataset []entry slice.
-func mergeRuns(path string, runs []*run) (*run, error) {
+//
+// beforeFinish, when non-nil, runs after the merged entries are fully
+// written but before the rename publishes the file — the compactor's
+// fault-injection point. A plain error aborts the temp file; ErrTornWrite
+// leaves it behind as crash debris (the caller wedges the tree and Open
+// sweeps the debris).
+func mergeRuns(path string, runs []*run, beforeFinish func() error) (*run, error) {
 	its := make([]*runIter, len(runs))
 	total := 0
 	for i, r := range runs {
@@ -197,6 +233,19 @@ func mergeRuns(path string, runs []*run) (*run, error) {
 			}
 		}
 	}
+	if beforeFinish != nil {
+		if err := beforeFinish(); err != nil {
+			if errors.Is(err, ErrTornWrite) {
+				// Crash debris: flush what a crash would have left and
+				// keep the temp file on disk.
+				_ = rw.w.Flush()
+				_ = rw.f.Close()
+			} else {
+				_ = rw.abort()
+			}
+			return nil, err
+		}
+	}
 	return rw.finish()
 }
 
@@ -239,14 +288,16 @@ func openRun(path string) (*run, error) {
 	}
 
 	r := &run{
-		path:  path,
-		f:     f,
-		keys:  make([][]byte, 0, count),
-		offs:  make([]int64, 0, count),
-		vlens: make([]int32, 0, count),
-		tombs: make([]bool, 0, count),
-		bloom: bloom,
+		path:   path,
+		f:      f,
+		keys:   make([][]byte, 0, count),
+		offs:   make([]int64, 0, count),
+		vlens:  make([]int32, 0, count),
+		tombs:  make([]bool, 0, count),
+		bloom:  bloom,
+		unused: make(chan struct{}),
 	}
+	r.refs.Store(1) // the caller's (usually the published list's) reference
 	// Scan the entry section to build the key index.
 	section := io.NewSectionReader(f, int64(len(runMagic)), bloomOff-int64(len(runMagic)))
 	br := bufio.NewReaderSize(section, 1<<16)
@@ -331,19 +382,8 @@ func (r *run) iter(from []byte) *runIter {
 	return &runIter{r: r, i: i}
 }
 
-// close releases the run's file handle.
-func (r *run) close() error { return r.f.Close() }
-
-// remove closes and deletes the run file. A Close failure is reported
-// even when the removal itself succeeds: the handle may still be pinning
-// disk space the caller thinks was reclaimed.
-func (r *run) remove() error {
-	cerr := r.f.Close()
-	if err := os.Remove(r.path); err != nil {
-		return err
-	}
-	return cerr
-}
+// close drops the caller's (sole) reference; see release.
+func (r *run) close() error { return r.release() }
 
 // runIter iterates a run in key order.
 type runIter struct {

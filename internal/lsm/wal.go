@@ -9,7 +9,6 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"sync"
 )
 
 // walRecordKind distinguishes WAL record types. The kind byte doubles as a
@@ -26,9 +25,12 @@ const (
 	walBatch
 )
 
-// wal is a write-ahead log: every mutation is appended (and optionally
-// synced) before it is applied to the memtable, giving record-level
-// durability and crash recovery by replay.
+// wal is one write-ahead log segment: every mutation is appended (and
+// optionally synced) before it is applied to the memtable, giving
+// record-level durability and crash recovery by replay. A Tree rotates
+// through segments — each memtable incarnation owns exactly one — so a
+// segment is retired (discard) as a unit once its memtable's flushed run
+// is durable, instead of truncating a shared log in place.
 type wal struct {
 	f    *os.File
 	w    *bufio.Writer
@@ -41,28 +43,49 @@ type wal struct {
 	// the fsync itself (fsync) after it is released.
 	syncEvery int
 	pending   int
-	// syncMu is the group-commit gate: it serializes fsync so concurrent
-	// committers queue on the durability wait without holding the tree
-	// lock, keeping readers and memtable writers unblocked by a slow disk.
-	syncMu sync.Mutex
+	// gateC is the group-commit gate: a one-token semaphore serializing
+	// fsync (and the segment's teardown) so concurrent committers queue on
+	// the durability wait without holding the tree lock. A channel rather
+	// than a mutex so that nothing is ever *locked* into the fsync — the
+	// token is acquired by receiving, returned by sending; dead is only
+	// touched while holding the token.
+	gateC chan struct{}
+	// dead marks a retired segment: its records are durable in a run file
+	// (discard) or the tree is closing (close). Late fsyncs on a dead
+	// segment succeed vacuously.
+	dead bool
 	// scratch is the reusable encoding buffer for batch records, so the
 	// steady-state batch path does not allocate per append.
 	scratch []byte
-	// fault, when non-nil, is consulted before every append/sync/truncate;
-	// see FaultHook. broken wedges the log after an injected torn write.
+	// fault, when non-nil, is consulted before every append/sync; see
+	// FaultHook. broken wedges the log after an injected torn write.
 	fault  FaultHook
 	broken bool
 	// metrics, when non-nil, counts appends, bytes, and fsyncs.
 	metrics *Metrics
 }
 
-// openWAL opens (creating if needed) the WAL at path for appending.
+// openWAL opens (creating if needed) the WAL segment at path for appending.
 func openWAL(path string, syncEvery int, fault FaultHook, m *Metrics) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery, fault: fault, metrics: m}, nil
+	w := &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery, fault: fault, metrics: m, gateC: make(chan struct{}, 1)}
+	w.gateRelease() // seed the single group-commit token
+	return w, nil
+}
+
+// gateAcquire takes the group-commit token; gateRelease returns it. The
+// release is a select-with-default only to make its non-blocking nature
+// explicit — the gate holds at most one token, so the send cannot block.
+func (w *wal) gateAcquire() { <-w.gateC }
+
+func (w *wal) gateRelease() {
+	select {
+	case w.gateC <- struct{}{}:
+	default:
+	}
 }
 
 // tearWrite persists a strict prefix of record (the complete encoded bytes
@@ -218,16 +241,35 @@ func (w *wal) flushDue() (bool, error) {
 }
 
 // fsync durably persists records already flushed by flushDue. It must be
-// called without the tree lock; syncMu exists solely to gate this one
-// call, so holding it into the Sync is the mechanism, not a hazard.
+// called without the tree lock — committers queue on the gate token, not
+// on any mutex, so a stalled disk never blocks readers or other writers.
+// A dead segment's records are already durable in a run file, so the
+// fsync succeeds vacuously.
 func (w *wal) fsync() error {
-	w.syncMu.Lock()
-	defer w.syncMu.Unlock()
-	return w.f.Sync() //feedlint:allow lockorder -- syncMu is the dedicated group-commit gate for this fsync
+	w.gateAcquire()
+	defer w.gateRelease()
+	if w.dead {
+		return nil
+	}
+	return w.f.Sync()
 }
 
-// close flushes and closes the WAL file.
+// seal flushes buffered records to the OS when the segment stops being the
+// active one: after a rotation only fsync and discard touch it, and both
+// reach the file directly. Called with the tree lock held; the buffered
+// writer is only ever used under that lock.
+func (w *wal) seal() error {
+	return w.w.Flush()
+}
+
+// close flushes and closes the segment file, leaving it on disk for replay.
 func (w *wal) close() error {
+	w.gateAcquire()
+	defer w.gateRelease()
+	if w.dead {
+		return nil
+	}
+	w.dead = true
 	if err := w.w.Flush(); err != nil {
 		_ = w.f.Close()
 		return err
@@ -235,24 +277,22 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
-// truncate resets the WAL after a flush has made its contents redundant.
-func (w *wal) truncate() error {
-	if w.broken {
-		return ErrWALBroken
+// discard retires a sealed segment whose memtable's run is durable: the
+// segment's records are redundant, so the file is closed and deleted. Any
+// committer still waiting on fsync for this segment completes vacuously —
+// its record's durability is now the run file's.
+func (w *wal) discard() error {
+	w.gateAcquire()
+	defer w.gateRelease()
+	if w.dead {
+		return nil
 	}
-	if w.fault != nil {
-		if err := w.fault("wal.truncate"); err != nil {
-			return err
-		}
-	}
-	if err := w.w.Flush(); err != nil {
+	w.dead = true
+	cerr := w.f.Close()
+	if err := os.Remove(w.path); err != nil {
 		return err
 	}
-	if err := w.f.Truncate(0); err != nil {
-		return err
-	}
-	_, err := w.f.Seek(0, io.SeekStart)
-	return err
+	return cerr
 }
 
 // teeByteReader feeds every byte it reads into a CRC, so replay can verify

@@ -4,16 +4,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
-func walSize(t *testing.T, dir string) int64 {
+// newestSeg returns the path of the highest-numbered WAL segment in dir.
+func newestSeg(t *testing.T, dir string) string {
 	t.Helper()
-	fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fi.Size()
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s", dir)
+	}
+	sort.Strings(segs)
+	return segs[len(segs)-1]
 }
 
 func TestApplyBatchBasic(t *testing.T) {
@@ -117,7 +123,13 @@ func TestWALBatchTornTailAtomic(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	preEnd := walSize(t, dir)
+	// "pre" lives in the first segment; the batch will land at offset 0 of
+	// the fresh segment the reopen creates.
+	preSeg := newestSeg(t, dir)
+	preBytes, err := os.ReadFile(preSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	tr, err = Open(Options{Dir: dir})
 	if err != nil {
@@ -133,17 +145,24 @@ func TestWALBatchTornTailAtomic(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	full, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	batchSeg := newestSeg(t, dir)
+	if batchSeg == preSeg {
+		t.Fatalf("reopen did not rotate to a new segment (still %s)", preSeg)
+	}
+	full, err := os.ReadFile(batchSeg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if int64(len(full)) <= preEnd {
-		t.Fatalf("batch record added no bytes (wal %d, prefix %d)", len(full), preEnd)
+	if len(full) == 0 {
+		t.Fatal("batch record added no bytes")
 	}
 
-	for cut := preEnd; cut < int64(len(full)); cut++ {
+	for cut := 0; cut < len(full); cut++ {
 		cutDir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(cutDir, "wal.log"), full[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(cutDir, filepath.Base(preSeg)), preBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cutDir, filepath.Base(batchSeg)), full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		re, err := Open(Options{Dir: cutDir})
@@ -194,7 +213,7 @@ func TestWALBatchCorruptCRCDropped(t *testing.T) {
 	}
 	tr.Close()
 
-	path := filepath.Join(dir, "wal.log")
+	path := newestSeg(t, dir)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
