@@ -26,11 +26,14 @@ lint-fast:
 vet:
 	$(GO) vet ./...
 
-# One-iteration smoke run of the write-path benchmark: proves both insert
-# paths still execute end to end without paying for a full measurement.
+# One-iteration smoke run of the write- and read-path benchmarks: proves the
+# insert paths and the block-cache read path still execute end to end without
+# paying for a full measurement. ReadPath also asserts its acceptance bounds
+# (hot gets issue zero disk reads; scans read each block once) even at 1x.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=InsertPath -benchtime=1x ./internal/storage/
 	$(GO) test -run '^$$' -bench=FlushConcurrency -benchtime=1000x ./internal/lsm/
+	$(GO) test -run '^$$' -bench=ReadPath -benchtime=1x ./internal/lsm/
 
 # Observability smoke: the admin endpoints (/feeds, /metrics, pprof) and
 # the `show feeds` verb against a live socket feed, plus the per-policy

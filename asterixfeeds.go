@@ -165,7 +165,17 @@ func newNodeStorage(reg *metrics.Registry, name, dir string, lsmOpt lsm.Options)
 	reg.RegisterCounter(p+".flushes", &lm.Flushes)
 	reg.RegisterCounter(p+".flushed_entries", &lm.FlushedEntries)
 	reg.RegisterCounter(p+".merges", &lm.Merges)
+	reg.RegisterCounter(p+".block_reads", &lm.BlockReads)
 	reg.RegisterCounter(p+".write_stalls", &lm.WriteStalls)
+	// The node-wide block cache (installed by NewManager when the caller
+	// supplied none): hits vs misses give the read path's memory-speed
+	// fraction, bytes tracks residency against the fixed capacity.
+	if bc := sm.BlockCache(); bc != nil {
+		reg.RegisterGaugeFunc(p+".cache.hits", func() int64 { return bc.Stats().Hits })
+		reg.RegisterGaugeFunc(p+".cache.misses", func() int64 { return bc.Stats().Misses })
+		reg.RegisterGaugeFunc(p+".cache.evictions", func() int64 { return bc.Stats().Evictions })
+		reg.RegisterGaugeFunc(p+".cache.bytes", func() int64 { return bc.Stats().Bytes })
+	}
 	reg.RegisterGaugeFunc(p+".memtable_bytes", func() int64 { return int64(sm.Stats().MemtableBytes) })
 	reg.RegisterGaugeFunc(p+".memtable_entries", func() int64 { return int64(sm.Stats().MemtableEntries) })
 	reg.RegisterGaugeFunc(p+".runs", func() int64 { return int64(sm.Stats().Runs) })

@@ -26,6 +26,12 @@ echo "lsm lockorder suppressions: none"
 go test ./...
 echo "test: ok"
 
+# Replay the checked-in fuzz corpora (testdata/fuzz seeds run as ordinary
+# tests) for the two codecs with wire formats: ADM records and LSM run
+# blocks. Keeps past crashers fixed without needing a fuzzing budget.
+go test -run Fuzz -count=1 ./internal/adm/ ./internal/lsm/
+echo "fuzz corpus replay: ok"
+
 make bench-smoke
 echo "bench-smoke: ok"
 

@@ -2,9 +2,10 @@
 // feed stack. A Schedule — derived entirely from a seed — arms failures at
 // named points threaded through the layers:
 //
-//	lsm:<node>/<partition>/<tree>/<wal-op>  WAL write/fsync errors, torn tails
-//	lsm:<node>/<partition>/<tree>/flush:bg  background flush fails/crashes pre-rename
-//	lsm:<node>/<partition>/<tree>/merge:bg  background merge fails/crashes pre-rename
+//	lsm:<node>/<partition>/<tree>/<wal-op>    WAL write/fsync errors, torn tails
+//	lsm:<node>/<partition>/<tree>/flush:bg    background flush fails/crashes pre-rename
+//	lsm:<node>/<partition>/<tree>/merge:bg    background merge fails/crashes pre-rename
+//	lsm:<node>/<partition>/<tree>/read:block  run block disk read fails / returns flipped bits
 //	frame:<node>:<operator>                 node death / stalls at frame boundaries
 //	core:ack:<node>                         lost ack messages
 //	core:resync:insert                      replica re-sync interruption
@@ -53,9 +54,14 @@ const (
 	// ActCrash crashes the adaptor, which restarts and re-emits its last
 	// few records. Adaptor points only.
 	ActCrash
+	// ActFlip corrupts the bytes coming back from a run block disk read
+	// (lsm.ErrCorruptRead): the block's CRC must catch the flip and the
+	// reader must retry — the bytes on disk are intact. read:block points
+	// only.
+	ActFlip
 )
 
-var actionNames = [...]string{ActErr: "err", ActTorn: "torn", ActKill: "kill", ActStall: "stall", ActCrash: "crash"}
+var actionNames = [...]string{ActErr: "err", ActTorn: "torn", ActKill: "kill", ActStall: "stall", ActCrash: "crash", ActFlip: "flip"}
 
 func (a Action) String() string {
 	if int(a) < len(actionNames) {
@@ -140,12 +146,13 @@ func ParseSchedule(s string) (Schedule, error) {
 // when a point's hit count matches. It is shared by every hook of one
 // scenario; all methods are safe for concurrent use.
 type Injector struct {
-	mu     sync.Mutex
-	armed  map[string][]Fault
-	hits   map[string]int
-	fired  []string
-	killFn func(node string)
-	stall  time.Duration
+	mu       sync.Mutex
+	armed    map[string][]Fault
+	hits     map[string]int
+	fired    []string
+	disarmed bool
+	killFn   func(node string)
+	stall    time.Duration
 }
 
 // NewInjector arms the schedule. killFn is invoked (outside the injector
@@ -168,6 +175,9 @@ func NewInjector(s Schedule, killFn func(node string)) *Injector {
 func (in *Injector) fire(point string) (Action, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.disarmed {
+		return 0, false
+	}
 	in.hits[point]++
 	h := in.hits[point]
 	for _, f := range in.armed[point] {
@@ -177,6 +187,19 @@ func (in *Injector) fire(point string) (Action, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Disarm permanently silences the injector: every later hit on any point
+// passes through clean. The runner calls it once the workload has drained,
+// before the invariant checks — verification reads (index scans, digests)
+// must observe the system's state, not inject fresh faults into it. This
+// matters for read-path points in particular: unlike the write-path points,
+// which the workload stops exercising when ingestion stops, verification
+// itself is made of reads.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	in.disarmed = true
+	in.mu.Unlock()
 }
 
 // Fired lists the faults that actually triggered, in firing order.
@@ -224,11 +247,16 @@ func (in *Injector) LSMHook(node string) lsm.FaultHook {
 		if !ok {
 			return nil
 		}
-		if act == ActTorn {
+		switch act {
+		case ActTorn:
 			// A torn write is a crash mid-write: the node dies with its
-			// wedged tree, and recovery reopens from disk elsewhere.
+			// wedged tree, and recovery reopens from disk elsewhere. At
+			// read:block the same action models a node lost to a media
+			// failure mid-read.
 			in.kill(node)
 			return lsm.ErrTornWrite
+		case ActFlip:
+			return lsm.ErrCorruptRead
 		}
 		return lsm.ErrInjected
 	}

@@ -302,6 +302,15 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	// The workload has drained: silence the injector before anything else.
+	// Two reasons. First, verification is itself made of reads (index scans,
+	// id-set scans, digests), so a still-armed read:block fault would corrupt
+	// the measurement rather than the system under test. Second, a killer
+	// fault reached by the still-running background pipeline *after* drain —
+	// during disconnect, say — would kill a node with no feed left to drive
+	// replica promotion, failing invariants for a state no recovery path was
+	// ever given a chance to repair.
+	inj.Disarm()
 	res.Degradations = conn.ResyncDegradations()
 	res.Replayed = conn.Metrics.Replayed.Value()
 	res.StoreErrors = conn.Metrics.StoreErrors.Value()

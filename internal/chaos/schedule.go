@@ -42,6 +42,11 @@ var killerMenu = []candidate{
 	{"lsm:C/p001/primary/flush:bg", ActTorn, 3},
 	{"lsm:B/p000/primary/merge:bg", ActTorn, 2},
 	{"lsm:C/p001/primary/merge:bg", ActTorn, 2},
+	// Node lost to a media failure during a block read (upsert probe or
+	// merge input scan). Reads never gate durability, so recovery must still
+	// find every acknowledged record.
+	{"lsm:B/p000/primary/read:block", ActTorn, 4},
+	{"lsm:C/p001/primary/read:block", ActTorn, 4},
 }
 
 var benignMenu = []candidate{
@@ -60,6 +65,13 @@ var benignMenu = []candidate{
 	{"lsm:C/p001/primary/flush:bg", ActErr, 3},
 	{"lsm:B/p000/primary/merge:bg", ActErr, 2},
 	{"lsm:C/p001/primary/merge:bg", ActErr, 2},
+	// Read-path faults: a transient block read error (EIO that clears) and a
+	// bit flip the per-block CRC must catch. Both are retryable — the bytes
+	// on disk are intact — so the pipeline recovers without losing a record.
+	{"lsm:B/p000/primary/read:block", ActErr, 4},
+	{"lsm:C/p001/primary/read:block", ActErr, 4},
+	{"lsm:B/p000/primary/read:block", ActFlip, 4},
+	{"lsm:C/p001/primary/read:block", ActFlip, 4},
 	{"core:ack:B", ActErr, 5},
 	{"core:ack:C", ActErr, 5},
 	// The scenario policy spills excess intake backlog to disk; an injected

@@ -3,12 +3,14 @@ package lsm
 import "errors"
 
 // FaultHook is consulted at named failure points inside the storage engine:
-// on the write path ("wal.append", "wal.appendBatch", "wal.sync") and in the
+// on the write path ("wal.append", "wal.appendBatch", "wal.sync"), in the
 // background pipeline ("flush:bg" before a flushed run's rename publishes
-// it, "merge:bg" before a merged run's rename). A nil return lets the
-// operation proceed; a non-nil return is injected as that operation's
-// outcome. Hooks exist for fault-injection harnesses (see internal/chaos);
-// production code never installs one.
+// it, "merge:bg" before a merged run's rename), and on the read path
+// ("read:block" before a run block is read from disk — cache hits never
+// consult it, since no disk is touched). A nil return lets the operation
+// proceed; a non-nil return is injected as that operation's outcome. Hooks
+// exist for fault-injection harnesses (see internal/chaos); production code
+// never installs one.
 //
 // Two sentinel errors get special treatment:
 //
@@ -39,4 +41,11 @@ var (
 	// ErrWALBroken is returned by every WAL operation after a torn write has
 	// wedged the log. The owning tree must be discarded and reopened.
 	ErrWALBroken = errors.New("lsm: wal broken by torn write")
+	// ErrCorruptRead, returned by a hook at "read:block", makes the run flip
+	// one bit in the freshly read block — modelling media corruption the
+	// per-block CRC must catch. The read then fails with an error matching
+	// both ErrChecksum (the symptom) and ErrInjected (so the background
+	// pipeline treats it as transient and retries: the bytes on disk are
+	// intact, only this read was poisoned).
+	ErrCorruptRead = errors.New("lsm: injected corrupt read")
 )

@@ -385,7 +385,7 @@ func TestRunOpenRejectsCorruptFile(t *testing.T) {
 	if err := writeFile(path, []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openRun(path); err == nil {
+	if _, err := openRun(path, runConfig{}); err == nil {
 		t.Fatal("openRun accepted corrupt file")
 	}
 }

@@ -44,7 +44,7 @@ func TestMergeRunsNewestWins(t *testing.T) {
 	defer mid.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000004.lsm"), []*run{newer, mid, old}, nil)
+	merged, err := mergeRuns(filepath.Join(dir, "run-000004.lsm"), []*run{newer, mid, old}, nil, runConfig{})
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestMergeRunsDropsTombstones(t *testing.T) {
 	defer old.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil)
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil, runConfig{})
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -100,7 +100,7 @@ func TestMergeRunsResurrectionMasked(t *testing.T) {
 	defer old.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil)
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil, runConfig{})
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -121,7 +121,7 @@ func TestMergeRunsAllTombstones(t *testing.T) {
 	defer old.close()
 	defer newer.close()
 
-	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil)
+	merged, err := mergeRuns(filepath.Join(dir, "run-000003.lsm"), []*run{newer, old}, nil, runConfig{})
 	if err != nil {
 		t.Fatalf("mergeRuns: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestMergeRunsAllTombstones(t *testing.T) {
 		t.Fatalf("merged has %d entries, want 0", merged.len())
 	}
 	// The empty run must survive a reopen.
-	re, err := openRun(merged.path)
+	re, err := openRun(merged.path, runConfig{})
 	if err != nil {
 		t.Fatalf("reopening empty run: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestMergeRunsAllTombstones(t *testing.T) {
 func TestRunWriterAtomicity(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run-000001.lsm")
-	rw, err := newRunWriter(path, 4)
+	rw, err := newRunWriter(path, 4, runConfig{})
 	if err != nil {
 		t.Fatalf("newRunWriter: %v", err)
 	}

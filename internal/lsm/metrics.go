@@ -22,6 +22,11 @@ type Metrics struct {
 	FlushedEntries metrics.Counter
 	// Merges counts full tiered merges.
 	Merges metrics.Counter
+	// BlockReads counts run blocks read from disk (ReadAt calls on the read
+	// path). Cache hits do not count — the gap between lookups and
+	// BlockReads is exactly the cache's work, which is how the read-path
+	// benchmarks assert that hot gets issue zero disk reads.
+	BlockReads metrics.Counter
 	// WriteStalls counts writer stall episodes: a mutation arrived while
 	// the memtable was full and MaxImmutables flushes were already queued,
 	// so the writer blocked until the background flusher caught up. This

@@ -180,6 +180,176 @@ func TestSnapshotConsistencyUnderPipeline(t *testing.T) {
 	}
 }
 
+// TestConcurrentReadsWithCacheUnderPipeline is the block-cache half of the
+// pipeline hammer: concurrent Get/Scan traffic against a deliberately tiny
+// shared cache while rotations, flushes, and compactions churn the run set
+// underneath it. The cache ledger must hold at every instant a racing
+// observer can sample it:
+//
+//   - resident Bytes never exceed Capacity (eviction happens inside the
+//     insert's critical section, never after);
+//   - Hits+Misses never exceed Lookups (a lookup is counted before its
+//     outcome);
+//
+// and at quiescence the books must balance exactly: Hits+Misses == Lookups,
+// with a nonzero hit count (re-read blocks were served from memory) and
+// nonzero evictions (the tiny budget was actually enforced). Because run IDs
+// are process-unique and run files immutable, compaction needs no cache
+// invalidation — stale blocks just age out — which is exactly what this test
+// stresses by merging while readers hold hot keys.
+func TestConcurrentReadsWithCacheUnderPipeline(t *testing.T) {
+	cache := NewBlockCache(32 << 10) // tiny: forces eviction churn
+	tr := openTest(t, Options{
+		MemtableBytes: 4 << 10,
+		MaxImmutables: 4,
+		MaxRuns:       2,
+		BlockBytes:    1 << 10,
+		BlockCache:    cache,
+	})
+	const writers, perWriter = 2, 1500
+	var committed [writers]atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	fail := func(format string, a ...any) {
+		failed.Store(true)
+		t.Errorf(format, a...)
+	}
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter && !failed.Load(); i++ {
+				key := []byte(fmt.Sprintf("w%d-%08d", w, i))
+				if err := tr.Put(key, bytes.Repeat([]byte{'v'}, 48)); err != nil {
+					fail("Put: %v", err)
+					return
+				}
+				committed[w].Store(int64(i + 1))
+			}
+		}()
+	}
+	// Pipeline forcer: churn the run set so readers race promotions and
+	// compactions retiring the very runs whose blocks they have cached.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15 && !failed.Load(); i++ {
+			if err := tr.Flush(); err != nil {
+				fail("Flush: %v", err)
+				return
+			}
+			if err := tr.Merge(); err != nil {
+				fail("Merge: %v", err)
+				return
+			}
+		}
+	}()
+	// Readers: re-read a rotating window of committed keys (same blocks twice
+	// → cache hits) plus periodic full scans (block-at-a-time iteration).
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30 && !failed.Load(); i++ {
+				for w := 0; w < writers; w++ {
+					max := committed[w].Load()
+					if max == 0 {
+						continue
+					}
+					for _, n := range []int64{0, max / 2, max - 1, max / 2, 0} {
+						key := []byte(fmt.Sprintf("w%d-%08d", w, n))
+						if _, ok, err := tr.Get(key); err != nil {
+							fail("Get %q: %v", key, err)
+							return
+						} else if !ok {
+							fail("committed key %q missing", key)
+							return
+						}
+					}
+				}
+				if i%5 == 0 {
+					count := 0
+					if err := tr.Scan(nil, nil, func(k, v []byte) bool {
+						count++
+						return true
+					}); err != nil {
+						fail("Scan: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Ledger poller: sample the cache while everything above races it.
+	stopPoll := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+			}
+			s := cache.Stats()
+			if s.Bytes > s.Capacity {
+				fail("cache over budget mid-race: %d resident, %d capacity", s.Bytes, s.Capacity)
+				return
+			}
+			if s.Hits+s.Misses > s.Lookups {
+				fail("ledger overflow mid-race: hits=%d misses=%d lookups=%d", s.Hits, s.Misses, s.Lookups)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopPoll)
+	pollWG.Wait()
+	if failed.Load() {
+		return
+	}
+
+	// Quiescence: push everything to disk, then re-read the same keys twice
+	// so the second pass must hit.
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for w := 0; w < writers; w++ {
+			for _, n := range []int{0, perWriter / 2, perWriter - 1} {
+				key := []byte(fmt.Sprintf("w%d-%08d", w, n))
+				if _, ok, err := tr.Get(key); err != nil || !ok {
+					t.Fatalf("quiescent Get %q: ok=%v err=%v", key, ok, err)
+				}
+			}
+		}
+	}
+	s := cache.Stats()
+	if s.Hits+s.Misses != s.Lookups {
+		t.Fatalf("ledger does not balance at quiescence: hits=%d misses=%d lookups=%d", s.Hits, s.Misses, s.Lookups)
+	}
+	if s.Hits == 0 {
+		t.Fatal("no cache hits despite systematic re-reads")
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite a 32 KiB cache under multi-run load")
+	}
+	if s.Bytes > s.Capacity {
+		t.Fatalf("resident %d exceeds capacity %d at quiescence", s.Bytes, s.Capacity)
+	}
+	n, err := tr.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := writers * perWriter; n != want {
+		t.Fatalf("Len = %d, want %d", n, want)
+	}
+}
+
 // TestBackpressureBoundsImmutableQueue blocks the background flusher and
 // keeps writing: rotations must queue up to exactly MaxImmutables, further
 // writers must stall (counted in Stats.WriteStalls) rather than queue

@@ -6,18 +6,57 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 	"sync/atomic"
 )
 
-// runMagic identifies the on-disk run format.
-var runMagic = []byte("LSMRUN01")
+// runMagic identifies the on-disk run format: block-structured with a sparse
+// index (format 02; format 01 held a flat entry section indexed entirely in
+// memory).
+var runMagic = []byte("LSMRUN02")
 
-// run is an immutable sorted component on disk. Keys (with value offsets and
-// tombstone flags) are held in memory; values are read from the file on
-// demand. A bloom filter prunes point lookups.
+// defaultBlockBytes is the target encoded block size. A block is closed once
+// it reaches the target, so every block except the last is at least this
+// large — which bounds a run's block count at ⌈bytes/target⌉ and therefore a
+// full scan at that many reads.
+const defaultBlockBytes = 32 << 10
+
+// runTrailerLen is the fixed trailer: index length, bloom length, entry
+// count, magic.
+const runTrailerLen = 4 + 4 + 8 + 8
+
+// runConfig carries the read-path plumbing a run needs after open: block
+// sizing for writers, and the cache, fault hook, and metrics for readers.
+// The zero value is fully usable (default block size, no cache, no hook).
+type runConfig struct {
+	blockBytes int
+	cache      *BlockCache
+	fault      FaultHook
+	metrics    *Metrics
+}
+
+func (c runConfig) blockTarget() int {
+	if c.blockBytes <= 0 {
+		return defaultBlockBytes
+	}
+	return c.blockBytes
+}
+
+// blockMeta is one sparse-index entry: where a block lives and the first key
+// it holds. This — not the keys themselves — is all a run keeps resident, so
+// per-run memory is O(blocks), not O(entries).
+type blockMeta struct {
+	firstKey []byte
+	off      int64
+	length   int32
+	entries  int32
+}
+
+// run is an immutable sorted component on disk, organized as checksummed
+// blocks. Only the sparse index (first key per block) and bloom filter live
+// in memory; everything else is read block-at-a-time through the shared
+// BlockCache. A bloom filter prunes point lookups.
 //
 // Runs are reference-counted: the tree's published run list holds one
 // reference, and every read snapshot retains one more for as long as it may
@@ -26,13 +65,13 @@ var runMagic = []byte("LSMRUN01")
 // file — so a reader mid-scan never has a run unlinked under it, and input
 // deletion order (oldest first) stays under the compactor's control.
 type run struct {
-	path  string
-	f     *os.File
-	keys  [][]byte
-	offs  []int64
-	vlens []int32
-	tombs []bool
-	bloom *bloomFilter
+	path   string
+	f      *os.File
+	id     uint64 // process-unique cache key; never reused, so dead runs need no invalidation
+	blocks []blockMeta
+	count  int
+	bloom  *bloomFilter
+	cfg    runConfig
 
 	refs   atomic.Int32
 	unused chan struct{} // closed when refs reaches zero
@@ -56,26 +95,29 @@ func (r *run) release() error {
 	return r.f.Close()
 }
 
-// runWriter streams sorted, unique entries into a run file one at a time,
-// holding only the bufio buffer and the bloom filter in memory — never the
-// entry set. It writes to path+".tmp" and renames into place on finish, so
-// a crash mid-write leaves nothing that Open's run-*.lsm glob would load;
-// Open sweeps leftover .tmp files. Either finish or abort must be called
-// exactly once.
+// runWriter streams sorted, unique entries into a run file block by block,
+// holding only the current block, the sparse index, and the bloom filter in
+// memory — never the entry set. It writes to path+".tmp" and renames into
+// place on finish, so a crash mid-write leaves nothing that Open's run-*.lsm
+// glob would load; Open sweeps leftover .tmp files. Either finish or abort
+// must be called exactly once.
 type runWriter struct {
-	path    string
-	tmp     string
-	f       *os.File
-	w       *bufio.Writer
-	bloom   *bloomFilter
-	count   int
-	scratch [2*binary.MaxVarintLen32 + 1]byte
+	path  string
+	tmp   string
+	f     *os.File
+	w     *bufio.Writer
+	bloom *bloomFilter
+	cfg   runConfig
+	bb    blockBuilder
+	index []blockMeta
+	off   int64 // file offset where the current block will land
+	count int
 }
 
 // newRunWriter starts a run file destined for path. capacityHint sizes the
 // bloom filter; overestimating (e.g. the pre-dedup entry total of a merge's
 // inputs) only lowers the false-positive rate.
-func newRunWriter(path string, capacityHint int) (*runWriter, error) {
+func newRunWriter(path string, capacityHint int, cfg runConfig) (*runWriter, error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -87,45 +129,81 @@ func newRunWriter(path string, capacityHint int) (*runWriter, error) {
 		_ = os.Remove(tmp)
 		return nil, err
 	}
-	return &runWriter{path: path, tmp: tmp, f: f, w: w, bloom: newBloomFilter(capacityHint)}, nil
+	return &runWriter{
+		path: path, tmp: tmp, f: f, w: w,
+		bloom: newBloomFilter(capacityHint),
+		cfg:   cfg,
+		off:   int64(len(runMagic)),
+	}, nil
 }
 
-// add appends one entry; keys must arrive in strictly ascending order.
+// add appends one entry; keys must arrive in strictly ascending order. The
+// current block is closed once it reaches the target size, so blocks are
+// always at least the target (bar the final one) and at most the target plus
+// one entry.
 func (rw *runWriter) add(e entry) error {
 	rw.bloom.add(e.key)
-	rw.scratch[0] = 0
-	if e.tombstone {
-		rw.scratch[0] = 1
-	}
-	n := 1
-	n += binary.PutUvarint(rw.scratch[n:], uint64(len(e.key)))
-	n += binary.PutUvarint(rw.scratch[n:], uint64(len(e.value)))
-	if _, err := rw.w.Write(rw.scratch[:n]); err != nil {
-		return err
-	}
-	if _, err := rw.w.Write(e.key); err != nil {
-		return err
-	}
-	if _, err := rw.w.Write(e.value); err != nil {
-		return err
-	}
+	rw.bb.add(e)
 	rw.count++
+	if rw.bb.size() >= rw.cfg.blockTarget() {
+		return rw.closeBlock()
+	}
 	return nil
 }
 
-// finish writes the trailer, fsyncs, renames the file into place, and
-// returns the opened run. On failure the temp file is cleaned up; the
-// writer must not be reused.
+// closeBlock seals the in-progress block: emit its bytes, record its sparse
+// index entry, reset the builder.
+func (rw *runWriter) closeBlock() error {
+	if rw.bb.count() == 0 {
+		return nil
+	}
+	buf := rw.bb.finish()
+	if _, err := rw.w.Write(buf); err != nil {
+		return err
+	}
+	rw.index = append(rw.index, blockMeta{
+		firstKey: append([]byte(nil), rw.bb.firstKey...),
+		off:      rw.off,
+		length:   int32(len(buf)),
+		entries:  int32(rw.bb.count()),
+	})
+	rw.off += int64(len(buf))
+	rw.bb.reset()
+	return nil
+}
+
+// finish seals the last block, writes the index section, bloom filter, and
+// trailer, fsyncs, renames the file into place, and returns the opened run.
+// On failure the temp file is cleaned up; the writer must not be reused.
 func (rw *runWriter) finish() (*run, error) {
-	// Trailer: bloom bytes, bloom length, entry count, magic.
+	if err := rw.closeBlock(); err != nil {
+		return nil, rw.fail(err)
+	}
+	// Index section: block count, then (first key, offset, length, entries)
+	// per block, all uvarint-framed.
+	var idx []byte
+	var scratch [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) { idx = append(idx, scratch[:binary.PutUvarint(scratch[:], v)]...) }
+	putUv(uint64(len(rw.index)))
+	for _, bm := range rw.index {
+		putUv(uint64(len(bm.firstKey)))
+		idx = append(idx, bm.firstKey...)
+		putUv(uint64(bm.off))
+		putUv(uint64(bm.length))
+		putUv(uint64(bm.entries))
+	}
+	if _, err := rw.w.Write(idx); err != nil {
+		return nil, rw.fail(err)
+	}
 	bb := rw.bloom.marshal()
 	if _, err := rw.w.Write(bb); err != nil {
 		return nil, rw.fail(err)
 	}
-	var trailer [20]byte
-	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(bb)))
-	binary.LittleEndian.PutUint64(trailer[4:], uint64(rw.count))
-	copy(trailer[12:], runMagic)
+	var trailer [runTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[0:], uint32(len(idx)))
+	binary.LittleEndian.PutUint32(trailer[4:], uint32(len(bb)))
+	binary.LittleEndian.PutUint64(trailer[8:], uint64(rw.count))
+	copy(trailer[16:], runMagic)
 	if _, err := rw.w.Write(trailer[:]); err != nil {
 		return nil, rw.fail(err)
 	}
@@ -143,7 +221,7 @@ func (rw *runWriter) finish() (*run, error) {
 		_ = os.Remove(rw.tmp)
 		return nil, err
 	}
-	return openRun(rw.path)
+	return openRun(rw.path, rw.cfg)
 }
 
 func (rw *runWriter) fail(err error) error {
@@ -162,9 +240,9 @@ func (rw *runWriter) abort() error {
 }
 
 // writeRun persists entries (which must be sorted by key, unique) as a run
-// file at path and returns the opened run.
+// file at path and returns the opened run, with default read-path plumbing.
 func writeRun(path string, entries []entry) (*run, error) {
-	rw, err := newRunWriter(path, len(entries))
+	rw, err := newRunWriter(path, len(entries), runConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +258,7 @@ func writeRun(path string, entries []entry) (*run, error) {
 // mergeRuns streams a full k-way merge of runs (ordered newest first) into
 // a new run file at path. Duplicate keys resolve newest-wins; tombstones
 // are dropped entirely, since a full merge leaves no older component for
-// them to mask. Memory stays O(block): one entry per input is materialized
+// them to mask. Memory stays O(block): one block per input is materialized
 // at a time, replacing the old merge's whole-dataset []entry slice.
 //
 // beforeFinish, when non-nil, runs after the merged entries are fully
@@ -188,14 +266,14 @@ func writeRun(path string, entries []entry) (*run, error) {
 // fault-injection point. A plain error aborts the temp file; ErrTornWrite
 // leaves it behind as crash debris (the caller wedges the tree and Open
 // sweeps the debris).
-func mergeRuns(path string, runs []*run, beforeFinish func() error) (*run, error) {
+func mergeRuns(path string, runs []*run, beforeFinish func() error, cfg runConfig) (*run, error) {
 	its := make([]*runIter, len(runs))
 	total := 0
 	for i, r := range runs {
 		its[i] = r.iter(nil)
 		total += r.len()
 	}
-	rw, err := newRunWriter(path, total)
+	rw, err := newRunWriter(path, total, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +298,14 @@ func mergeRuns(path string, runs []*run, beforeFinish func() error) (*run, error
 			_ = rw.abort()
 			return nil, err
 		}
+		// The winning entry aliases its block's bytes; copy before advancing
+		// (which may load a different block into the iterator, or evict the
+		// cached one).
+		e = entry{
+			key:       append([]byte(nil), e.key...),
+			value:     append([]byte(nil), e.value...),
+			tombstone: e.tombstone,
+		}
 		// Advance every iterator past winKey, discarding older versions.
 		for _, it := range its {
 			for it.valid() && bytes.Equal(it.key(), winKey) {
@@ -231,6 +317,15 @@ func mergeRuns(path string, runs []*run, beforeFinish func() error) (*run, error
 				_ = rw.abort()
 				return nil, err
 			}
+		}
+	}
+	// An iterator that hit a read error goes invalid, which would otherwise
+	// look identical to clean exhaustion — and silently drop every entry it
+	// hadn't yielded yet. Check before publishing the merge.
+	for _, it := range its {
+		if err := it.fail(); err != nil {
+			_ = rw.abort()
+			return nil, err
 		}
 	}
 	if beforeFinish != nil {
@@ -249,152 +344,330 @@ func mergeRuns(path string, runs []*run, beforeFinish func() error) (*run, error
 	return rw.finish()
 }
 
-// openRun loads a run's key index and bloom filter from disk.
-func openRun(path string) (*run, error) {
+// openRun loads a run's sparse index and bloom filter from disk. Every
+// trailer length is validated against the file size before any allocation or
+// read, so a corrupt or truncated file fails loudly here rather than
+// triggering an unbounded allocation or a garbage index.
+func openRun(path string, cfg runConfig) (*run, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening run: %w", err)
 	}
-	st, err := f.Stat()
+	r, err := loadRun(path, f, cfg)
 	if err != nil {
 		_ = f.Close()
 		return nil, err
-	}
-	if st.Size() < int64(len(runMagic))+20 {
-		_ = f.Close()
-		return nil, fmt.Errorf("lsm: run %s too small", path)
-	}
-	var trailer [20]byte
-	if _, err := f.ReadAt(trailer[:], st.Size()-20); err != nil {
-		_ = f.Close()
-		return nil, err
-	}
-	if !bytes.Equal(trailer[12:], runMagic) {
-		_ = f.Close()
-		return nil, fmt.Errorf("lsm: run %s has bad trailer magic", path)
-	}
-	bloomLen := int64(binary.LittleEndian.Uint32(trailer[0:]))
-	count := binary.LittleEndian.Uint64(trailer[4:])
-	bloomOff := st.Size() - 20 - bloomLen
-	bb := make([]byte, bloomLen)
-	if _, err := f.ReadAt(bb, bloomOff); err != nil {
-		_ = f.Close()
-		return nil, err
-	}
-	bloom := unmarshalBloom(bb)
-	if bloom == nil {
-		_ = f.Close()
-		return nil, fmt.Errorf("lsm: run %s has corrupt bloom filter", path)
-	}
-
-	r := &run{
-		path:   path,
-		f:      f,
-		keys:   make([][]byte, 0, count),
-		offs:   make([]int64, 0, count),
-		vlens:  make([]int32, 0, count),
-		tombs:  make([]bool, 0, count),
-		bloom:  bloom,
-		unused: make(chan struct{}),
-	}
-	r.refs.Store(1) // the caller's (usually the published list's) reference
-	// Scan the entry section to build the key index.
-	section := io.NewSectionReader(f, int64(len(runMagic)), bloomOff-int64(len(runMagic)))
-	br := bufio.NewReaderSize(section, 1<<16)
-	pos := int64(len(runMagic))
-	for i := uint64(0); i < count; i++ {
-		flags, err := br.ReadByte()
-		if err != nil {
-			_ = f.Close()
-			return nil, fmt.Errorf("lsm: run %s truncated at entry %d", path, i)
-		}
-		pos++
-		klen, err := binary.ReadUvarint(br)
-		if err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		pos += int64(uvarintLen(klen))
-		vlen, err := binary.ReadUvarint(br)
-		if err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		pos += int64(uvarintLen(vlen))
-		key := make([]byte, klen)
-		if _, err := io.ReadFull(br, key); err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		pos += int64(klen)
-		if _, err := br.Discard(int(vlen)); err != nil {
-			_ = f.Close()
-			return nil, err
-		}
-		r.keys = append(r.keys, key)
-		r.offs = append(r.offs, pos)
-		r.vlens = append(r.vlens, int32(vlen))
-		r.tombs = append(r.tombs, flags&1 != 0)
-		pos += int64(vlen)
 	}
 	return r, nil
 }
 
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		v >>= 7
-		n++
+func loadRun(path string, f *os.File, cfg runConfig) (*run, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
 	}
-	return n
+	if st.Size() < int64(len(runMagic))+runTrailerLen {
+		return nil, fmt.Errorf("lsm: run %s too small", path)
+	}
+	var trailer [runTrailerLen]byte
+	if _, err := f.ReadAt(trailer[:], st.Size()-runTrailerLen); err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(trailer[16:], runMagic) {
+		return nil, fmt.Errorf("lsm: run %s has bad trailer magic", path)
+	}
+	indexLen := int64(binary.LittleEndian.Uint32(trailer[0:]))
+	bloomLen := int64(binary.LittleEndian.Uint32(trailer[4:]))
+	count := binary.LittleEndian.Uint64(trailer[8:])
+	body := st.Size() - int64(len(runMagic)) - runTrailerLen
+	if indexLen > body || bloomLen > body-indexLen {
+		return nil, fmt.Errorf("lsm: run %s trailer lengths (%d,%d) exceed file size %d", path, indexLen, bloomLen, st.Size())
+	}
+	indexOff := st.Size() - runTrailerLen - bloomLen - indexLen
+	tail := make([]byte, indexLen+bloomLen)
+	if _, err := f.ReadAt(tail, indexOff); err != nil {
+		return nil, err
+	}
+	bloom := unmarshalBloom(tail[indexLen:])
+	if bloom == nil {
+		return nil, fmt.Errorf("lsm: run %s has corrupt bloom filter", path)
+	}
+
+	blocks, err := parseRunIndex(tail[:indexLen], int64(len(runMagic)), indexOff, count)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: run %s: %w", path, err)
+	}
+	r := &run{
+		path:   path,
+		f:      f,
+		id:     nextRunID.Add(1),
+		blocks: blocks,
+		count:  int(count),
+		bloom:  bloom,
+		cfg:    cfg,
+		unused: make(chan struct{}),
+	}
+	r.refs.Store(1) // the caller's (usually the published list's) reference
+	return r, nil
+}
+
+// parseRunIndex decodes the sparse index section, validating every block's
+// extent against [dataStart, dataEnd), key ordering, and the trailer's entry
+// count — the index is the only trusted map of the file, so it must be
+// internally consistent before any block is read through it.
+func parseRunIndex(idx []byte, dataStart, dataEnd int64, count uint64) ([]blockMeta, error) {
+	rd := bytes.NewReader(idx)
+	nBlocks, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("index truncated: %w", err)
+	}
+	// Each index entry is at least 4 bytes, so nBlocks is bounded by the
+	// section length — checked before allocating.
+	if nBlocks > uint64(len(idx)) {
+		return nil, fmt.Errorf("index block count %d exceeds index size %d", nBlocks, len(idx))
+	}
+	blocks := make([]blockMeta, 0, nBlocks)
+	var prevKey []byte
+	var prevEnd = dataStart
+	var entries uint64
+	for i := uint64(0); i < nBlocks; i++ {
+		klen, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("index truncated at block %d: %w", i, err)
+		}
+		if klen > uint64(rd.Len()) {
+			return nil, fmt.Errorf("index block %d key length %d exceeds remaining index", i, klen)
+		}
+		key := make([]byte, klen)
+		if _, err := rd.Read(key); err != nil {
+			return nil, err
+		}
+		off, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, err
+		}
+		length, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, err
+		}
+		n, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && bytes.Compare(key, prevKey) <= 0 {
+			return nil, fmt.Errorf("index block %d first key out of order", i)
+		}
+		if int64(off) != prevEnd || length < blockFooterLen || int64(off)+int64(length) > dataEnd {
+			return nil, fmt.Errorf("index block %d extent [%d,+%d) outside data section [%d,%d)", i, off, length, prevEnd, dataEnd)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("index block %d is empty", i)
+		}
+		prevKey = key
+		prevEnd = int64(off) + int64(length)
+		entries += n
+		blocks = append(blocks, blockMeta{firstKey: key, off: int64(off), length: int32(length), entries: int32(n)})
+	}
+	if entries != count {
+		return nil, fmt.Errorf("index entry total %d disagrees with trailer count %d", entries, count)
+	}
+	if prevEnd != dataEnd {
+		return nil, fmt.Errorf("index covers [%d,%d), data section ends at %d", dataStart, prevEnd, dataEnd)
+	}
+	return blocks, nil
 }
 
 // len reports the number of entries in the run.
-func (r *run) len() int { return len(r.keys) }
+func (r *run) len() int { return r.count }
 
-// get returns the entry for key if the run contains it.
+// readBlock returns a validated view over block i: from the shared cache if
+// resident (no disk read, no CRC re-check — cached blocks were validated on
+// insert and are immutable), otherwise read from disk, CRC-checked, and
+// cached. The "read:block" fault point fires only on the disk path; an
+// ErrCorruptRead return flips a bit in the freshly read buffer, modelling
+// media corruption the checksum must catch.
+func (r *run) readBlock(i int) (blockView, error) {
+	bm := r.blocks[i]
+	key := blockKey{runID: r.id, blockNo: uint32(i)}
+	if r.cfg.cache != nil {
+		if data := r.cfg.cache.get(key); data != nil {
+			return trustedBlock(data), nil
+		}
+	}
+	flip := false
+	if r.cfg.fault != nil {
+		if err := r.cfg.fault("read:block"); err != nil {
+			if errors.Is(err, ErrCorruptRead) {
+				flip = true
+			} else {
+				return blockView{}, err
+			}
+		}
+	}
+	buf := make([]byte, bm.length)
+	if _, err := r.f.ReadAt(buf, bm.off); err != nil {
+		return blockView{}, fmt.Errorf("lsm: reading block %d of %s: %w", i, r.path, err)
+	}
+	if r.cfg.metrics != nil {
+		r.cfg.metrics.BlockReads.Add(1)
+	}
+	if flip {
+		buf[len(buf)/2] ^= 0x40
+	}
+	v, err := parseBlock(buf)
+	if err != nil || flip {
+		if flip {
+			// Injected corruption is transient — the next read returns clean
+			// bytes — so mark it retryable for the background pipeline while
+			// still surfacing the checksum failure.
+			return blockView{}, fmt.Errorf("lsm: block %d of %s: %w", i, r.path, errors.Join(ErrChecksum, ErrInjected))
+		}
+		return blockView{}, fmt.Errorf("lsm: block %d of %s: %w", i, r.path, err)
+	}
+	if int(binary.LittleEndian.Uint32(buf[len(buf)-blockFooterLen:])) != int(bm.entries) {
+		return blockView{}, fmt.Errorf("lsm: block %d of %s holds %d entries, index says %d", i, r.path, v.count(), bm.entries)
+	}
+	if r.cfg.cache != nil {
+		r.cfg.cache.put(key, buf)
+	}
+	return v, nil
+}
+
+// findBlock returns the index of the block that may contain key: the last
+// block whose first key is <= key, or -1 if key precedes the whole run.
+func (r *run) findBlock(key []byte) int {
+	return sort.Search(len(r.blocks), func(i int) bool {
+		return bytes.Compare(r.blocks[i].firstKey, key) > 0
+	}) - 1
+}
+
+// get returns the entry for key if the run contains it. The returned entry
+// aliases (possibly cached) block memory; callers that retain it must copy.
 func (r *run) get(key []byte) (entry, bool, error) {
 	if !r.bloom.mayContain(key) {
 		return entry{}, false, nil
 	}
-	i := sort.Search(len(r.keys), func(i int) bool { return bytes.Compare(r.keys[i], key) >= 0 })
-	if i >= len(r.keys) || !bytes.Equal(r.keys[i], key) {
+	bi := r.findBlock(key)
+	if bi < 0 {
 		return entry{}, false, nil
 	}
-	e, err := r.entryAt(i)
+	v, err := r.readBlock(bi)
 	if err != nil {
 		return entry{}, false, err
+	}
+	i, err := v.search(key)
+	if err != nil {
+		return entry{}, false, err
+	}
+	if i >= v.count() {
+		return entry{}, false, nil
+	}
+	e, err := v.entryAt(i)
+	if err != nil {
+		return entry{}, false, err
+	}
+	if !bytes.Equal(e.key, key) {
+		return entry{}, false, nil
 	}
 	return e, true, nil
 }
 
-func (r *run) entryAt(i int) (entry, error) {
-	val := make([]byte, r.vlens[i])
-	if _, err := r.f.ReadAt(val, r.offs[i]); err != nil {
-		return entry{}, fmt.Errorf("lsm: reading run value: %w", err)
-	}
-	return entry{key: r.keys[i], value: val, tombstone: r.tombs[i]}, nil
-}
-
 // iter returns an iterator over entries with key >= from.
 func (r *run) iter(from []byte) *runIter {
-	i := sort.Search(len(r.keys), func(i int) bool { return bytes.Compare(r.keys[i], from) >= 0 })
-	return &runIter{r: r, i: i}
+	it := &runIter{r: r}
+	if len(r.blocks) == 0 {
+		return it
+	}
+	if from != nil {
+		if bi := r.findBlock(from); bi > 0 {
+			it.bi = bi
+		}
+	}
+	v, err := r.readBlock(it.bi)
+	if err != nil {
+		it.err = err
+		return it
+	}
+	it.v = v
+	if from != nil {
+		i, err := v.search(from)
+		if err != nil {
+			it.err = err
+			return it
+		}
+		it.ei = i
+	}
+	it.advance()
+	return it
 }
 
 // close drops the caller's (sole) reference; see release.
 func (r *run) close() error { return r.release() }
 
-// runIter iterates a run in key order.
+// runIter iterates a run in key order, block at a time: one disk read (or
+// cache hit) per ~32 KiB of data instead of one per entry. The current entry
+// is prefetched so valid/key stay error-free; a read or decode failure
+// parks the iterator invalid with a sticky error that callers MUST check via
+// fail() after their loop — an errored iterator is indistinguishable from an
+// exhausted one otherwise.
 type runIter struct {
-	r *run
-	i int
+	r   *run
+	bi  int // current block index
+	v   blockView
+	ei  int // index of the entry after cur within v
+	cur entry
+	ok  bool
+	err error
 }
 
-func (it *runIter) valid() bool { return it.i < len(it.r.keys) }
+// advance loads cur from (bi, ei), crossing block boundaries as needed.
+func (it *runIter) advance() {
+	it.ok = false
+	if it.err != nil {
+		return
+	}
+	for it.ei >= it.v.count() {
+		it.bi++
+		if it.bi >= len(it.r.blocks) {
+			return
+		}
+		v, err := it.r.readBlock(it.bi)
+		if err != nil {
+			it.err = err
+			return
+		}
+		it.v = v
+		it.ei = 0
+	}
+	e, err := it.v.entryAt(it.ei)
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.cur = e
+	it.ok = true
+}
 
-func (it *runIter) curr() (entry, error) { return it.r.entryAt(it.i) }
+func (it *runIter) valid() bool { return it.ok }
 
-func (it *runIter) key() []byte { return it.r.keys[it.i] }
+// curr returns the current entry. Its key and value alias block memory that
+// is only guaranteed stable until the iterator advances past the block;
+// callers that retain them must copy.
+func (it *runIter) curr() (entry, error) {
+	if it.err != nil {
+		return entry{}, it.err
+	}
+	return it.cur, nil
+}
 
-func (it *runIter) next() { it.i++ }
+func (it *runIter) key() []byte { return it.cur.key }
+
+func (it *runIter) next() {
+	it.ei++
+	it.advance()
+}
+
+// fail reports the sticky error that invalidated the iterator, if any.
+// Loops that drain an iterator must check it: read errors make valid()
+// return false exactly like clean exhaustion.
+func (it *runIter) fail() error { return it.err }

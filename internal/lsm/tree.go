@@ -31,6 +31,15 @@ type Options struct {
 	// SyncWAL groups WAL fsyncs: 0 disables syncing (fastest, used by
 	// experiments), 1 syncs every write (durable), n syncs every n writes.
 	SyncWAL int
+	// BlockBytes is the target encoded size of a run block; default 32 KiB.
+	// Smaller blocks mean finer cache granularity and more sparse-index
+	// entries; larger blocks amortize per-read overhead across more entries.
+	BlockBytes int
+	// BlockCache, when non-nil, caches run blocks across every tree that
+	// shares it — typically one cache per node, so hot blocks from all
+	// partitions compete for a single memory budget. A nil cache reads every
+	// block from disk.
+	BlockCache *BlockCache
 	// FaultHook, when non-nil, is consulted at the tree's WAL and
 	// background-pipeline failure points. Only fault-injection harnesses
 	// set this; see FaultHook.
@@ -163,6 +172,17 @@ type Tree struct {
 
 func errClosed() error { return fmt.Errorf("lsm: tree closed") }
 
+// runCfg bundles the read-path plumbing handed to every run the tree opens
+// or writes.
+func (t *Tree) runCfg() runConfig {
+	return runConfig{
+		blockBytes: t.opt.BlockBytes,
+		cache:      t.opt.BlockCache,
+		fault:      t.opt.FaultHook,
+		metrics:    t.opt.Metrics,
+	}
+}
+
 // Open opens (creating if necessary) the tree in opt.Dir, replaying any WAL
 // segments left by a previous incarnation, and starts the background
 // flusher and compactor.
@@ -206,7 +226,7 @@ func Open(opt Options) (*Tree, error) {
 	}
 	sort.Sort(sort.Reverse(sort.StringSlice(names)))
 	for _, name := range names {
-		r, err := openRun(name)
+		r, err := openRun(name, t.runCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -560,7 +580,9 @@ func (t *Tree) Get(key []byte) (value []byte, ok bool, err error) {
 			if e.tombstone {
 				return nil, false, nil
 			}
-			return e.value, true, nil
+			// e.value aliases (possibly cache-resident) block memory shared
+			// with other readers; hand the caller its own copy.
+			return append([]byte(nil), e.value...), true, nil
 		}
 	}
 	return nil, false, nil
@@ -593,7 +615,9 @@ func (t *Tree) Scan(from, to []byte, fn func(key, value []byte) bool) error {
 		}
 		it.next()
 	}
-	return nil
+	// A run iterator that hit a read error goes invalid exactly like an
+	// exhausted one; surface it rather than silently truncating the scan.
+	return it.fail()
 }
 
 // Len reports the number of live keys (scans everything; intended for tests
@@ -794,7 +818,7 @@ func (t *Tree) flushTasks(tasks []*flushTask) error {
 		hint += tasks[i].mem.len()
 		mi.memIts = append(mi.memIts, tasks[i].mem.iter(nil))
 	}
-	rw, err := newRunWriter(path, hint)
+	rw, err := newRunWriter(path, hint, t.runCfg())
 	if err != nil {
 		return err
 	}
@@ -925,7 +949,7 @@ func (t *Tree) compactOnce() (bool, error) {
 	if h := t.opt.FaultHook; h != nil {
 		hook = func() error { return h("merge:bg") }
 	}
-	nr, err := mergeRuns(mergedName(inputs[0].path), inputs, hook)
+	nr, err := mergeRuns(mergedName(inputs[0].path), inputs, hook, t.runCfg())
 	if err != nil {
 		for _, r := range inputs {
 			_ = r.release()
@@ -1117,6 +1141,17 @@ func (m *mergedIter) curr() (entry, error) {
 		return m.memIts[memIdx].curr(), nil
 	}
 	return m.runIts[runIdx].curr()
+}
+
+// fail reports the first sticky error across the run iterators; loops that
+// drain a mergedIter must check it after exhaustion.
+func (m *mergedIter) fail() error {
+	for _, it := range m.runIts {
+		if err := it.fail(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // next advances every iterator past the current smallest key, discarding

@@ -29,8 +29,14 @@ type Manager struct {
 }
 
 // NewManager creates a storage manager for node nodeID rooted at dir.
-// lsmOpt.Dir is ignored; per-partition directories are derived.
+// lsmOpt.Dir is ignored; per-partition directories are derived. When
+// lsmOpt.BlockCache is nil a node-wide cache of lsm.DefaultBlockCacheBytes
+// is installed, so every tree on the node — primary and secondary components
+// of every partition — shares one block-memory budget.
 func NewManager(nodeID, dir string, lsmOpt lsm.Options) *Manager {
+	if lsmOpt.BlockCache == nil {
+		lsmOpt.BlockCache = lsm.NewBlockCache(lsm.DefaultBlockCacheBytes)
+	}
 	return &Manager{
 		nodeID:     nodeID,
 		dir:        dir,
@@ -38,6 +44,10 @@ func NewManager(nodeID, dir string, lsmOpt lsm.Options) *Manager {
 		partitions: make(map[string]*Partition),
 	}
 }
+
+// BlockCache returns the node-wide run block cache shared by every
+// partition's trees.
+func (m *Manager) BlockCache() *lsm.BlockCache { return m.lsmOpt.BlockCache }
 
 // NodeID returns the owning node's name.
 func (m *Manager) NodeID() string { return m.nodeID }
