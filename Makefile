@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fast vet fmt bench-smoke watch-smoke chaos-smoke chaos ci
+.PHONY: build test race lint lint-fast vet fmt bench-smoke watch-smoke chaos-smoke chaos-restart-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=InsertPath -benchtime=1x ./internal/storage/
 	$(GO) test -run '^$$' -bench=FlushConcurrency -benchtime=1000x ./internal/lsm/
 	$(GO) test -run '^$$' -bench=ReadPath -benchtime=1x ./internal/lsm/
+	$(GO) test -run '^$$' -bench=Restart -benchtime=1x ./internal/lsm/
 
 # Observability smoke: the admin endpoints (/feeds, /metrics, pprof) and
 # the `show feeds` verb against a live socket feed, plus the per-policy
@@ -50,6 +51,12 @@ watch-smoke:
 # Failures print a `feedchaos -seed N -replay '...'` repro line.
 chaos-smoke:
 	$(GO) run ./cmd/feedchaos -seeds 50 -records 150
+
+# Restart chaos: the same 50-seed sweep with a restart-under-fault phase —
+# recovery itself is crashed (torn manifest snapshots, mid-replay faults)
+# and a second clean restart must still recover exactly.
+chaos-restart-smoke:
+	$(GO) run ./cmd/feedchaos -restart -seeds 50 -records 150
 
 # Full chaos sweep: more seeds, full-size workloads. Not part of tier-1;
 # run before cutting a release or after touching recovery/replay code.

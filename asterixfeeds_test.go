@@ -119,6 +119,62 @@ func waitCount(t *testing.T, inst *Instance, dataset string, want int, timeout t
 	t.Fatalf("dataset %s reached %d records, want %d", dataset, n, want)
 }
 
+// waitIngested is waitCount with a registry-backed first tier (feedwatch):
+// the connection's own series say when the pipeline has plausibly drained —
+// persisted reached the target and no acks are pending — and only then does
+// the expensive partition scan run to confirm. Polling the registry instead
+// of scanning also means the wait cannot return between a primary insert
+// and its ack, which is what made fixed-sleep waits flaky.
+func waitIngested(t *testing.T, inst *Instance, dv, feed, dataset string, want int, timeout time.Duration) {
+	t.Helper()
+	conn, ok := inst.Feeds().Connection(dv, feed, dataset)
+	if !ok {
+		t.Fatalf("no connection %s.%s -> %s", dv, feed, dataset)
+	}
+	reg := inst.Registry()
+	prefix := "feed." + conn.ID()
+	// The persisted series counts this connection's records only; the count
+	// target covers the whole dataset, which may hold records from before
+	// this connection (a restarted instance). The difference at entry is the
+	// cheap-tier threshold — understating it only costs extra scans.
+	base, err := inst.DatasetCount(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		persisted, _ := reg.Value(prefix + ".persisted")
+		pending, _ := reg.Value(prefix + ".pending_acks")
+		if persisted >= int64(want-base) && pending == 0 {
+			n, err := inst.DatasetCount(dataset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n >= want {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	persisted, _ := reg.Value(prefix + ".persisted")
+	n, _ := inst.DatasetCount(dataset)
+	t.Fatalf("dataset %s reached %d records (persisted metric %d), want %d", dataset, n, persisted, want)
+}
+
+// connSeries counts the registry series published under one connection's
+// "feed.<id>." prefix — the restart test uses it to prove teardown
+// unregisters a connection and a recovered feed re-registers exactly one
+// set of series, no leaks and no duplicates.
+func connSeries(inst *Instance, connID string) int {
+	n := 0
+	for _, s := range inst.Registry().Snapshot() {
+		if strings.HasPrefix(s.Name, "feed."+connID+".") {
+			n++
+		}
+	}
+	return n
+}
+
 func TestCascadeViaAQLWithAQLFunction(t *testing.T) {
 	inst := startTest(t, "A", "B")
 	inst.MustExec(tweetDDL)

@@ -41,6 +41,9 @@ echo "watch-smoke: ok"
 go run ./cmd/feedchaos -seeds 50 -records 150
 echo "chaos-smoke: ok"
 
+go run ./cmd/feedchaos -restart -seeds 50 -records 150
+echo "chaos-restart-smoke: ok"
+
 if [ "${1:-}" = "-race" ]; then
 	go test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
 	# End-to-end replication and restart tests: the promotion/resync and

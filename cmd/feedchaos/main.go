@@ -17,6 +17,13 @@
 //
 //	feedchaos -seed 17 -shrink
 //
+// Restart-under-fault mode (-restart) adds a recovery-chaos phase after the
+// workload: each run's partitions are reopened with faults injected into
+// recovery itself (manifest snapshot writes, mid-WAL-replay crashes), and a
+// second clean restart must still recover exactly:
+//
+//	feedchaos -restart -seeds 50
+//
 // Every failure is reported with its seed and schedule string; the same
 // seed and schedule always reproduce the same interleaving and verdict.
 package main
@@ -38,6 +45,7 @@ func main() {
 		records  = flag.Int("records", 300, "records emitted per run")
 		replay   = flag.String("replay", "", "explicit fault schedule (point@hit:action;...) overriding the generated one")
 		shrink   = flag.Bool("shrink", false, "shrink a failing run to a minimal fault schedule")
+		restart  = flag.Bool("restart", false, "add a restart-under-fault phase (crash recovery itself, then require a clean second restart)")
 		parallel = flag.Int("parallel", 4, "concurrent scenarios during a sweep")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-run drain timeout")
 		verbose  = flag.Bool("v", false, "report passing runs too")
@@ -45,13 +53,13 @@ func main() {
 	flag.Parse()
 
 	if *seeds > 0 {
-		os.Exit(sweep(*seeds, *records, *timeout, *parallel, *verbose))
+		os.Exit(sweep(*seeds, *records, *timeout, *parallel, *restart, *verbose))
 	}
-	os.Exit(single(*seed, *records, *timeout, *replay, *shrink, *verbose))
+	os.Exit(single(*seed, *records, *timeout, *replay, *shrink, *restart, *verbose))
 }
 
-func single(seed int64, records int, timeout time.Duration, replay string, shrink, verbose bool) int {
-	sc := chaos.Scenario{Seed: seed, Records: records, Timeout: timeout}
+func single(seed int64, records int, timeout time.Duration, replay string, shrink, restart, verbose bool) int {
+	sc := chaos.Scenario{Seed: seed, Records: records, Timeout: timeout, Restart: restart}
 	if replay != "" {
 		sched, err := chaos.ParseSchedule(replay)
 		if err != nil {
@@ -87,7 +95,7 @@ func single(seed int64, records int, timeout time.Duration, replay string, shrin
 	return 1
 }
 
-func sweep(n, records int, timeout time.Duration, parallel int, verbose bool) int {
+func sweep(n, records int, timeout time.Duration, parallel int, restart, verbose bool) int {
 	if parallel < 1 {
 		parallel = 1
 	}
@@ -104,7 +112,7 @@ func sweep(n, records int, timeout time.Duration, parallel int, verbose bool) in
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			res, err := chaos.Run(chaos.Scenario{Seed: int64(s), Records: records, Timeout: timeout})
+			res, err := chaos.Run(chaos.Scenario{Seed: int64(s), Records: records, Timeout: timeout, Restart: restart})
 			results[s] = outcome{res, err}
 		}(s)
 	}
@@ -145,6 +153,12 @@ func report(res *chaos.Result, show bool) {
 	}
 	for _, d := range res.Degradations {
 		fmt.Printf("    degraded: %s\n", d)
+	}
+	if res.RestartSchedule != "" {
+		fmt.Printf("    restart schedule=%q crashedOpens=%d\n", res.RestartSchedule, res.CrashedOpens)
+		for _, f := range res.RestartFired {
+			fmt.Printf("    restart fired: %s\n", f)
+		}
 	}
 	for _, f := range res.Failures {
 		fmt.Printf("    FAILED INVARIANT: %s\n", f)

@@ -6,6 +6,8 @@
 //	lsm:<node>/<partition>/<tree>/flush:bg    background flush fails/crashes pre-rename
 //	lsm:<node>/<partition>/<tree>/merge:bg    background merge fails/crashes pre-rename
 //	lsm:<node>/<partition>/<tree>/read:block  run block disk read fails / returns flipped bits
+//	lsm:<node>/<partition>/<tree>/manifest:append  manifest edit/snapshot write fails or tears
+//	lsm:<node>/<partition>/<tree>/recover:replay   crash mid-WAL-replay during Open
 //	frame:<node>:<operator>                 node death / stalls at frame boundaries
 //	core:ack:<node>                         lost ack messages
 //	core:resync:insert                      replica re-sync interruption

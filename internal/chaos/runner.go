@@ -32,6 +32,14 @@ type Scenario struct {
 	Records int
 	// Schedule overrides the seed-generated fault schedule (replay mode).
 	Schedule Schedule
+	// Restart adds a restart-under-fault phase after shutdown: every live
+	// partition is reopened with fresh faults injected into recovery itself
+	// (manifest snapshot writes, WAL replay), and a *second* clean restart
+	// must then recover exactly — a crashed recovery may lose no ground.
+	Restart bool
+	// RestartSchedule overrides the seed-generated restart-phase schedule
+	// (replay mode). Only consulted when Restart is set.
+	RestartSchedule Schedule
 	// Timeout bounds the drain wait; default 60s.
 	Timeout time.Duration
 }
@@ -42,6 +50,12 @@ type Result struct {
 	Schedule string
 	// Fired and Unfired report which armed faults triggered.
 	Fired, Unfired []string
+	// RestartSchedule and RestartFired report the restart-phase faults of a
+	// Scenario.Restart run; CrashedOpens counts partitions whose faulted
+	// reopen aborted (and so leaned on the second restart for recovery).
+	RestartSchedule string
+	RestartFired    []string
+	CrashedOpens    int
 	// Degradations echoes the connection's recorded replica-resync
 	// degradations (informational: the run kept serving, unreplicated).
 	Degradations []string
@@ -83,6 +97,11 @@ const (
 //     after shutdown, holds exactly the id set it held while live. Close
 //     never flushes queued immutable memtables, so this proves WAL replay
 //     recovers precisely the unflushed records — no loss, no phantoms.
+//
+// With Scenario.Restart, a faulted reopen runs between shutdown and
+// invariant 5: recovery itself is crashed (manifest snapshot writes, WAL
+// replay) and invariant 5 becomes the second-restart check — a crashed
+// recovery must leave the directories exactly recoverable.
 //
 // The returned error covers harness setup problems only; invariant
 // violations land in Result.Failures.
@@ -418,31 +437,77 @@ func Run(sc Scenario) (*Result, error) {
 		sm.Close() //nolint:errcheck // replay reads the dirs directly
 	}
 
-	// Invariant 5: recovery exactness. Reopen every partition captured above
-	// and compare id sets: replay must recover exactly the records that were
-	// visible while live — records from unflushed memtables come back from
-	// their WAL segments (no loss), and no half-published run or stale
-	// segment resurrects anything else (no phantoms).
 	reNodes := make([]string, 0, len(preClose))
 	for n := range preClose {
 		reNodes = append(reNodes, n)
 	}
 	sort.Strings(reNodes)
+
+	// Restart phase (Scenario.Restart): reopen every captured partition with
+	// faults injected into recovery itself — the open-time manifest snapshot
+	// and WAL replay. An aborted open models a crash *during* recovery and is
+	// not itself a failure; a reopen that succeeds despite the schedule must
+	// already be exact. Either way, the clean reopen below (invariant 5)
+	// becomes the real verdict: the second restart after a crashed recovery
+	// must still recover exactly.
+	if sc.Restart {
+		rsched := sc.RestartSchedule
+		if rsched == nil {
+			rsched = GenRestartSchedule(sc.Seed)
+		}
+		res.RestartSchedule = rsched.String()
+		rinj := NewInjector(rsched, nil) // no cluster left to kill
+		for _, node := range reNodes {
+			rm := storage.NewManager(node, filepath.Join(dir, node), lsm.Options{
+				FaultHook: rinj.LSMHook(node),
+			})
+			for _, st := range preClose[node] {
+				p, err := rm.OpenPartitionIdx(ds, st.idx, st.replica)
+				if err != nil {
+					res.CrashedOpens++
+					continue
+				}
+				got, err := idsOf(p)
+				if err != nil {
+					res.failf("restart under fault: node %s partition %d: scan: %v", node, st.idx, err)
+					continue
+				}
+				if diff := setDiff(st.ids, got); diff != "" {
+					res.failf("restart under fault: node %s partition %d: recovered set %s", node, st.idx, diff)
+				}
+			}
+			rm.Close() //nolint:errcheck // fault-phase teardown
+		}
+		res.RestartFired = rinj.Fired()
+	}
+
+	// Invariant 5: recovery exactness. Reopen every partition captured above
+	// and compare id sets: replay must recover exactly the records that were
+	// visible while live — records from unflushed memtables come back from
+	// their WAL segments (no loss), and no half-published run or stale
+	// segment resurrects anything else (no phantoms). In a Restart run this
+	// doubles as the second-restart check: the debris a crashed recovery left
+	// behind (torn manifest temps, unrenamed snapshots) must not cost a
+	// record or resurrect one.
+	label := "recovery exactness"
+	if sc.Restart {
+		label = "second restart after crashed recovery"
+	}
 	for _, node := range reNodes {
 		rm := storage.NewManager(node, filepath.Join(dir, node), lsm.Options{})
 		for _, st := range preClose[node] {
 			p, err := rm.OpenPartitionIdx(ds, st.idx, st.replica)
 			if err != nil {
-				res.failf("recovery exactness: node %s partition %d: reopen: %v", node, st.idx, err)
+				res.failf("%s: node %s partition %d: reopen: %v", label, node, st.idx, err)
 				continue
 			}
 			got, err := idsOf(p)
 			if err != nil {
-				res.failf("recovery exactness: node %s partition %d: post-recovery scan: %v", node, st.idx, err)
+				res.failf("%s: node %s partition %d: post-recovery scan: %v", label, node, st.idx, err)
 				continue
 			}
 			if diff := setDiff(st.ids, got); diff != "" {
-				res.failf("recovery exactness: node %s partition %d: recovered set %s", node, st.idx, diff)
+				res.failf("%s: node %s partition %d: recovered set %s", label, node, st.idx, diff)
 			}
 		}
 		rm.Close() //nolint:errcheck // read-only recovery check

@@ -83,6 +83,34 @@ var benignMenu = []candidate{
 	{"adaptor:p0", ActCrash, 40},
 }
 
+// restartMenu holds faults that only make sense while a tree is *opening*:
+// crashes at the open-time manifest snapshot and mid-WAL-replay. They are
+// armed on the fresh injector of a restart phase (Scenario.Restart), never
+// on the workload injector — during steady state the points are not hit.
+//
+// manifest:append fires exactly once per open (the lazy snapshot), so every
+// candidate pins hit 1. recover:replay fires once per replayed WAL record;
+// the hit bound spans the plausible unflushed tail of the workload so the
+// crash lands anywhere from the first record to deep mid-replay.
+var restartMenu = []candidate{
+	{"lsm:B/p000/primary/manifest:append", ActTorn, 1},
+	{"lsm:B/p000/primary/manifest:append", ActErr, 1},
+	{"lsm:C/p001/primary/manifest:append", ActTorn, 1},
+	{"lsm:C/p001/primary/manifest:append", ActErr, 1},
+	{"lsm:B/p000/country_idx/manifest:append", ActTorn, 1},
+	{"lsm:C/p001/country_idx/manifest:append", ActErr, 1},
+	{"lsm:C/r000/primary/manifest:append", ActTorn, 1},
+	{"lsm:B/r001/primary/manifest:append", ActErr, 1},
+	{"lsm:B/p000/primary/recover:replay", ActTorn, 25},
+	{"lsm:B/p000/primary/recover:replay", ActErr, 25},
+	{"lsm:C/p001/primary/recover:replay", ActTorn, 25},
+	{"lsm:C/p001/primary/recover:replay", ActErr, 25},
+	{"lsm:B/p000/country_idx/recover:replay", ActTorn, 15},
+	{"lsm:C/p001/country_idx/recover:replay", ActErr, 15},
+	{"lsm:C/r000/primary/recover:replay", ActErr, 25},
+	{"lsm:B/r001/primary/recover:replay", ActTorn, 25},
+}
+
 // GenSchedule derives a fault schedule purely from the seed: zero to two
 // benign faults plus, with probability ~1/2, one killer fault. The same
 // seed always yields the same schedule.
@@ -98,6 +126,25 @@ func GenSchedule(seed int64) Schedule {
 	}
 	if rng.Intn(2) == 0 {
 		s = append(s, pick(killerMenu))
+	}
+	return s
+}
+
+// restartSeedSalt decorrelates the restart schedule from the workload
+// schedule so seed N's restart faults are not a function of its workload
+// faults — the two sweeps explore independently.
+const restartSeedSalt = 0x7265737461727431 // "restart1"
+
+// GenRestartSchedule derives the restart-phase fault schedule purely from
+// the seed: one or two faults from the restart menu, injected during the
+// post-shutdown reopen of Scenario.Restart runs. The same seed always
+// yields the same schedule.
+func GenRestartSchedule(seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed ^ restartSeedSalt))
+	var s Schedule
+	for n := 1 + rng.Intn(2); n > 0; n-- {
+		c := restartMenu[rng.Intn(len(restartMenu))]
+		s = append(s, Fault{Point: c.point, Hit: 1 + rng.Intn(c.maxHit), Action: c.action})
 	}
 	return s
 }

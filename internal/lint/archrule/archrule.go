@@ -6,6 +6,9 @@
 package archrule
 
 import (
+	"go/ast"
+	"go/types"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -24,6 +27,12 @@ type Rule struct {
 	Allow []string
 	// Deny lists imports that are violations regardless of Allow.
 	Deny []string
+	// Restrict narrows a permitted import to an explicit symbol surface:
+	// the key selects an imported package (same pattern syntax as Allow),
+	// the value lists the only identifiers of that package the governed
+	// packages may reference. Importing the package stays legal; reaching
+	// past the listed surface is a violation.
+	Restrict map[string][]string
 }
 
 // DefaultRules is the asterixfeeds layering table:
@@ -52,7 +61,15 @@ var DefaultRules = []Rule{
 	{Pkg: "internal/metrics", Allow: []string{}},
 	{Pkg: "internal/metadata", Allow: []string{"internal/adm", "internal/lsm", "internal/storage"}},
 	{Pkg: "internal/core", Deny: []string{"internal/aql", "internal/experiments", "."}},
-	{Pkg: "internal/chaos", Deny: []string{"internal/aql", "internal/experiments", "."}},
+	// The chaos harness observes the LSM strictly through its fault-hook
+	// surface (Options/FaultHook wiring, the injection sentinels, Open for
+	// content digests). Reaching into anything else would let invariant
+	// checks depend on internals the faults are supposed to stress.
+	{Pkg: "internal/chaos", Deny: []string{"internal/aql", "internal/experiments", "."},
+		Restrict: map[string][]string{
+			"internal/lsm": {"Options", "FaultHook", "Tree", "Open",
+				"ErrInjected", "ErrTornWrite", "ErrCorruptRead"},
+		}},
 	{Pkg: "*", Deny: []string{"cmd"}},
 }
 
@@ -106,7 +123,68 @@ func (a *Analyzer) Run(pkg *lint.Package) []lint.Finding {
 			}
 		}
 	}
+	for _, rule := range a.Rules {
+		if rule.Restrict != nil && lint.MatchPath(rule.Pkg, pkg.Path) {
+			out = append(out, rule.checkRestrict(pkg)...)
+		}
+	}
 	return out
+}
+
+// checkRestrict reports every reference from pkg into a Restrict-ed
+// import that names an identifier outside the declared surface. Needs
+// type information (to tell a package qualifier from a shadowing local);
+// when it is missing the check degrades to silence, like the other
+// type-dependent analyzers.
+func (r Rule) checkRestrict(pkg *lint.Package) []lint.Finding {
+	if pkg.Info == nil {
+		return nil
+	}
+	var out []lint.Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			imported := pn.Imported().Path()
+			for pat, allowed := range r.Restrict {
+				if !lint.MatchPath(pat, imported) {
+					continue
+				}
+				if contains(allowed, sel.Sel.Name) {
+					continue
+				}
+				surface := append([]string(nil), allowed...)
+				sort.Strings(surface)
+				out = append(out, lint.Finding{
+					Pos:  pkg.Fset.Position(sel.Pos()),
+					Rule: "archrule",
+					Message: pkg.RelPath() + " may use only {" + strings.Join(surface, ", ") + "} of " +
+						strings.TrimPrefix(imported, pkg.Module+"/") + ", got " + sel.Sel.Name,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // check reports a non-empty violation message when importing path from a

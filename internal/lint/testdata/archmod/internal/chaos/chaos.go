@@ -1,0 +1,11 @@
+// Package chaos may import lsm, but only through the declared fault-hook
+// surface: Open is on the list, Compact is not.
+package chaos
+
+import "archmod/internal/lsm"
+
+// Stress opens a tree (allowed) and then reaches past the surface.
+func Stress() int {
+	lsm.Compact()
+	return lsm.Open()
+}

@@ -1,0 +1,66 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkRestart measures a cold Open — the restart cost the manifest is
+// designed to bound. Each size is the tree's flushed history; the unflushed
+// WAL tail is fixed at restartTail records. With the manifest, recovery
+// work is proportional to the tail alone, so ns/op and replayed-records/op
+// should stay flat as history grows; a recovery that rescans or replays
+// history shows up as ns/op scaling with the size.
+//
+// Runs in `make bench-smoke` (-benchtime=1x) as the bounded-recovery
+// regression gate: replayed-records/op must equal restartTail at every
+// history size.
+func BenchmarkRestart(b *testing.B) {
+	const restartTail = 200
+	for _, history := range []int{1000, 5000, 20000} {
+		b.Run(fmt.Sprintf("history=%d", history), func(b *testing.B) {
+			dir := b.TempDir()
+			tr, err := Open(Options{Dir: dir, SyncWAL: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < history; i++ {
+				if err := tr.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tr.Flush(); err != nil { // checkpoint: history lives in runs
+				b.Fatal(err)
+			}
+			for i := history; i < history+restartTail; i++ {
+				if err := tr.Put([]byte(fmt.Sprintf("key-%08d", i)), []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tr.Close(); err != nil {
+				b.Fatal(err)
+			}
+
+			m := &Metrics{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t2, err := Open(Options{Dir: dir, Metrics: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := t2.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			replayed := float64(m.RecoveryReplayed.Value()) / float64(b.N)
+			b.ReportMetric(replayed, "replayed-records/op")
+			if replayed != restartTail {
+				b.Fatalf("replayed %.0f records per open; want exactly the %d-record tail", replayed, restartTail)
+			}
+		})
+	}
+}

@@ -5,9 +5,13 @@ import "errors"
 // FaultHook is consulted at named failure points inside the storage engine:
 // on the write path ("wal.append", "wal.appendBatch", "wal.sync"), in the
 // background pipeline ("flush:bg" before a flushed run's rename publishes
-// it, "merge:bg" before a merged run's rename), and on the read path
+// it, "merge:bg" before a merged run's rename), on the read path
 // ("read:block" before a run block is read from disk — cache hits never
-// consult it, since no disk is touched). A nil return lets the operation
+// consult it, since no disk is touched), and on the recovery path
+// ("manifest:append" before every manifest edit or snapshot write,
+// including the snapshot Open itself writes, and "recover:replay" before
+// each WAL record Open replays — together they let a harness crash a tree
+// at any instant of recovery itself). A nil return lets the operation
 // proceed; a non-nil return is injected as that operation's outcome. Hooks
 // exist for fault-injection harnesses (see internal/chaos); production code
 // never installs one.
@@ -25,6 +29,11 @@ import "errors"
 //     ("flush:bg", "merge:bg") it instead leaves the run's temp file as
 //     crash debris and wedges the whole tree: writers start failing, but
 //     the files on disk are exactly what a crash at that instant leaves.
+//     At "manifest:append" it persists a strict prefix of the manifest
+//     record (or, for a snapshot write, a torn unrenamed temp file) and
+//     wedges the manifest — the torn-tail shapes recovery's fallback scan
+//     must absorb. At "recover:replay" both sentinels simply abort the
+//     Open mid-replay, leaving every file in place for the next attempt.
 //
 // ErrInjected at a background point is retried by the flusher/compactor
 // after a short delay, modelling a transient environmental failure that

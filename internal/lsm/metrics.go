@@ -33,4 +33,16 @@ type Metrics struct {
 	// is the tree's bounded-backpressure signal — a rising rate means the
 	// flusher (i.e. the disk) cannot keep up with ingestion.
 	WriteStalls metrics.Counter
+	// RecoveryReplayed counts WAL records replayed by Open. After a clean
+	// checkpoint (Flush then Close) a reopen adds zero — the bounded-
+	// recovery guarantee BenchmarkRestart measures: replay work is
+	// proportional to the post-checkpoint WAL tail, never total history.
+	RecoveryReplayed metrics.Counter
+	// RecoveryMillis accumulates wall-clock milliseconds Open spent
+	// rebuilding state: manifest load, run opens, debris sweep, replay.
+	RecoveryMillis metrics.Counter
+	// ManifestRewrites counts manifest snapshot writes (temp + rename):
+	// one per Open plus one each time manifestRewriteEvery edits fold
+	// into a fresh snapshot.
+	ManifestRewrites metrics.Counter
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 )
@@ -219,6 +220,14 @@ func (rw *runWriter) finish() (*run, error) {
 	}
 	if err := os.Rename(rw.tmp, rw.path); err != nil {
 		_ = os.Remove(rw.tmp)
+		return nil, err
+	}
+	// The rename alone is not durable: without the directory fsync a power
+	// loss could forget the run's name while the flusher goes on to delete
+	// the WAL segments that covered it — silently losing records. Publish
+	// means file bytes AND directory entry on disk.
+	if err := syncDir(filepath.Dir(rw.path)); err != nil {
+		_ = os.Remove(rw.path)
 		return nil, err
 	}
 	return openRun(rw.path, rw.cfg)

@@ -139,6 +139,11 @@ type Tree struct {
 	// rotation, so the common rotation path swaps files under t.mu
 	// without creating one. Nil when no segment is staged.
 	nextWAL *wal
+	// man is the durable edit log of committed structural changes (run
+	// published, runs merged, segments retired); see manifest.go. It has
+	// its own serialization (a gate token, like wal.gateC) because commits
+	// fsync — they must never run under t.mu.
+	man     *manifest
 	seq     int // last run sequence number issued
 	flushes int
 	merges  int
@@ -183,9 +188,10 @@ func (t *Tree) runCfg() runConfig {
 	}
 }
 
-// Open opens (creating if necessary) the tree in opt.Dir, replaying any WAL
-// segments left by a previous incarnation, and starts the background
-// flusher and compactor.
+// Open opens (creating if necessary) the tree in opt.Dir, recovering its
+// committed state from the manifest (or a verified directory scan when the
+// manifest is torn or absent), replaying the live WAL tail, and starting
+// the background flusher and compactor.
 func Open(opt Options) (*Tree, error) {
 	opt = opt.withDefaults()
 	if opt.Dir == "" {
@@ -205,76 +211,19 @@ func Open(opt Options) (*Tree, error) {
 		compactorDone: make(chan struct{}),
 	}
 
-	// Sweep temp files from run writes interrupted by a crash: the rename
-	// into place never happened, so their contents are unreferenced.
-	tmps, err := filepath.Glob(filepath.Join(opt.Dir, "run-*.lsm.tmp"))
+	start := time.Now()
+	replayed, err := t.recoverState()
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range tmps {
-		if err := os.Remove(p); err != nil {
-			return nil, err
-		}
-	}
-
-	// Load existing runs, newest (highest sequence) first. Merged runs are
-	// named after their newest input plus an "m" suffix, which sorts them
-	// newer than that input and older than the next flushed run.
-	names, err := filepath.Glob(filepath.Join(opt.Dir, "run-*.lsm"))
-	if err != nil {
-		return nil, err
-	}
-	sort.Sort(sort.Reverse(sort.StringSlice(names)))
-	for _, name := range names {
-		r, err := openRun(name, t.runCfg())
-		if err != nil {
-			return nil, err
-		}
-		t.runs = append(t.runs, r)
-		var seq int
-		fmt.Sscanf(filepath.Base(name), "run-%06d.lsm", &seq)
-		if seq > t.seq {
-			t.seq = seq
-		}
-	}
-
-	// Replay WAL segments in sequence order into the recovery memtable.
-	// The replayed files back that memtable until its flush completes;
-	// they are deleted (oldest first) only after the flushed run is
-	// durable.
-	segs, err := filepath.Glob(filepath.Join(opt.Dir, "wal-*.log"))
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(segs)
-	for _, seg := range segs {
-		err := replayWAL(seg, func(kind walRecordKind, key, value []byte) error {
-			t.mem.put(key, value, kind == walDelete)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		var seq int
-		fmt.Sscanf(filepath.Base(seg), "wal-%06d.log", &seq)
-		if seq > t.walSeq {
-			t.walSeq = seq
-		}
-	}
-	if t.mem.len() == 0 {
-		// Nothing to recover: the replayed segments hold no records, so
-		// they need not wait for a flush.
-		for _, seg := range segs {
-			if err := os.Remove(seg); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		t.memSegs = segs
+	if m := opt.Metrics; m != nil {
+		m.RecoveryReplayed.Add(int64(replayed))
+		m.RecoveryMillis.Add(time.Since(start).Milliseconds())
 	}
 
 	w, err := t.newSegment()
 	if err != nil {
+		t.abandonOpen()
 		return nil, err
 	}
 	t.wal = w
@@ -285,6 +234,231 @@ func Open(opt Options) (*Tree, error) {
 		t.kick(t.compactC)
 	}
 	return t, nil
+}
+
+// dropDebris removes a file Open has proven unreferenced. Every startup
+// deletion — interrupted-write temp files, orphaned runs, retired WAL
+// segments, empty staged segments — funnels through here, so the sweep
+// policy (idempotent: a file already gone is fine) lives in one place.
+func dropDebris(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// sweepTemps deletes crash debris from interrupted atomic-rename writes:
+// flush and merge run temps (both match run-*.lsm.tmp — merge outputs are
+// runs too) and manifest snapshot temps. Every temp is unreferenced by
+// construction, because state only ever learns a file's name after its
+// rename succeeded.
+func sweepTemps(dir string) error {
+	for _, pat := range []string{"run-*.lsm.tmp", "MANIFEST-*.tmp"} {
+		tmps, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return err
+		}
+		for _, p := range tmps {
+			if err := dropDebris(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fileSeqOf extracts the numeric sequence from a run or WAL segment base
+// name ("run-000007m.lsm" → 7, "wal-000012.log" → 12).
+func fileSeqOf(base, format string) int {
+	var seq int
+	fmt.Sscanf(base, format, &seq)
+	return seq
+}
+
+// recoverState rebuilds the tree from disk: sweep temp debris, load the
+// manifest (falling back to a verified directory scan when it is torn,
+// malformed, or absent), open the committed runs, delete orphaned runs and
+// retired segments, replay the live WAL tail into the recovery memtable,
+// and cap it all with a fresh snapshot manifest. Returns the number of WAL
+// records replayed. On error everything opened so far is closed and every
+// file is left where the next attempt needs it.
+func (t *Tree) recoverState() (int, error) {
+	dir := t.opt.Dir
+	if err := sweepTemps(dir); err != nil {
+		return 0, err
+	}
+
+	st, manSeq, manOK, err := loadManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	// Generations strictly below the loaded one are never consulted again
+	// (recovery uses the newest manifest or the scan, never an older
+	// file); sweep them so lazy open-time snapshots cannot accumulate.
+	manNames, err := filepath.Glob(filepath.Join(dir, "MANIFEST-*"))
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range manNames {
+		if seq, isMan := manifestSeq(filepath.Base(p)); isMan && seq < manSeq {
+			if err := dropDebris(p); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Every segment present, ascending. walSeq advances past all of them —
+	// including ones deleted below — so segment numbers are never reused.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		if seq := fileSeqOf(filepath.Base(seg), "wal-%06d.log"); seq > t.walSeq {
+			t.walSeq = seq
+		}
+	}
+
+	fail := func(err error) (int, error) {
+		t.abandonOpen()
+		return 0, err
+	}
+
+	runFiles, err := filepath.Glob(filepath.Join(dir, "run-*.lsm"))
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range runFiles {
+		if seq := fileSeqOf(filepath.Base(name), "run-%06d"); seq > t.seq {
+			t.seq = seq
+		}
+	}
+
+	if manOK {
+		// The manifest names the exact committed run set, newest first. A
+		// listed run that is missing is real data loss — fail loudly rather
+		// than silently narrowing the database to whatever files remain.
+		listed := make(map[string]bool, len(st.runs))
+		for _, name := range st.runs {
+			listed[name] = true
+			r, err := openRun(filepath.Join(dir, name), t.runCfg())
+			if err != nil {
+				if errors.Is(err, os.ErrNotExist) {
+					return fail(fmt.Errorf("lsm: %s lists run %s but the file is missing — refusing to open with lost data: %w",
+						manifestName(manSeq), name, err))
+				}
+				return fail(err)
+			}
+			t.runs = append(t.runs, r)
+		}
+		// Runs on disk but not in the manifest were published without their
+		// commit record (a crash between the rename and the manifest
+		// append). Their records are still covered — by WAL segments above
+		// the floor for flush orphans, by the surviving inputs for merge
+		// orphans — so they are debris, not data.
+		for _, name := range runFiles {
+			if !listed[filepath.Base(name)] {
+				if err := dropDebris(name); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		// Segments at or below the floor were retired by a committed flush;
+		// only their unlink was lost. Replaying them would double-apply
+		// stale values over newer merged data — delete, never replay.
+		live := segs[:0]
+		for _, seg := range segs {
+			if fileSeqOf(filepath.Base(seg), "wal-%06d.log") <= st.floor {
+				if err := dropDebris(seg); err != nil {
+					return fail(err)
+				}
+				continue
+			}
+			live = append(live, seg)
+		}
+		segs = live
+	} else {
+		// Verified directory scan: name order gives recency (merge outputs
+		// carry their newest input's name plus "m"), every run is opened
+		// with its trailer, index, and bloom filter validated, and every
+		// present segment replays. Correct even for debris the manifest
+		// protocol leaves: an uncommitted merge output shadows its intact
+		// inputs, and an uncommitted flushed run is re-shadowed by replaying
+		// the very segments it covers.
+		sort.Sort(sort.Reverse(sort.StringSlice(runFiles)))
+		for _, name := range runFiles {
+			r, err := openRun(name, t.runCfg())
+			if err != nil {
+				return fail(err)
+			}
+			t.runs = append(t.runs, r)
+		}
+	}
+
+	// Replay the live tail, oldest first, into the recovery memtable. The
+	// replayed files back that memtable until its flush commits. A segment
+	// that yields no records (the active segment after a clean close, a
+	// staged segment that lost its rotation race) is debris: nothing
+	// references it, so it is swept here rather than replayed forever.
+	replayed := 0
+	var kept []string
+	for _, seg := range segs {
+		n := 0
+		err := replayWAL(seg, func(kind walRecordKind, key, value []byte) error {
+			if h := t.opt.FaultHook; h != nil {
+				if err := h("recover:replay"); err != nil {
+					return err
+				}
+			}
+			t.mem.put(key, value, kind == walDelete)
+			n++
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if n == 0 {
+			if err := dropDebris(seg); err != nil {
+				return fail(err)
+			}
+			continue
+		}
+		replayed += n
+		kept = append(kept, seg)
+	}
+	t.memSegs = kept
+
+	// Cap recovery with a fresh snapshot manifest: the floor sits just
+	// below the oldest segment still owed a replay (everything older is
+	// durable in runs), and older manifest generations are swept.
+	floor := t.walSeq
+	if len(kept) > 0 {
+		floor = fileSeqOf(filepath.Base(kept[0]), "wal-%06d.log") - 1
+	}
+	names := make([]string, len(t.runs))
+	for i, r := range t.runs {
+		names[i] = filepath.Base(r.path)
+	}
+	man, err := newManifest(dir, manSeq+1, names, floor, t.opt.FaultHook, t.opt.Metrics)
+	if err != nil {
+		return fail(err)
+	}
+	t.man = man
+	return replayed, nil
+}
+
+// abandonOpen tears down a partially opened tree after a recovery or
+// bootstrap failure, so error paths never leak file handles.
+func (t *Tree) abandonOpen() {
+	for _, r := range t.runs {
+		_ = r.release()
+	}
+	t.runs = nil
+	if t.man != nil {
+		_ = t.man.close()
+		t.man = nil
+	}
 }
 
 // newSegment opens the next WAL segment file. Callers hold t.mu (or, in
@@ -869,10 +1043,26 @@ func (t *Tree) flushTasks(tasks []*flushTask) error {
 	t.bumpLocked()
 	t.mu.Unlock()
 
-	// The run is durable and published: retire the WAL segments, oldest
-	// first across the whole batch. Any failure wedges the tree (via the
-	// caller), which guarantees no younger segment is ever deleted after a
-	// skipped older one — the invariant replay ordering depends on.
+	// Commit before destroying: one fsynced manifest record names the run
+	// and advances the WAL floor to the newest flushed segment, and only
+	// then may segment files be deleted. Reversing the order opens the two
+	// classic crash windows — deleting first loses records if the run's
+	// rename was not yet durable; recording retirement after deleting is
+	// fine, but deleting after a crash wiped the record would leave a
+	// retired segment to replay stale values over newer merged data. A
+	// manifest failure wedges the tree rather than retrying: the run is
+	// already published, and re-running the whole flush would publish it
+	// twice — hence %v (not %w), deliberately severing the errors.Is chain
+	// to ErrInjected that the flusher's retry loop checks.
+	if err := t.man.commitFlush(filepath.Base(path), newest.wal.seq); err != nil {
+		return fmt.Errorf("lsm: flush published but not committed: %v", err)
+	}
+
+	// The run is durable, published, and committed: retire the WAL
+	// segments, oldest first across the whole batch. Any failure wedges
+	// the tree (via the caller), which guarantees no younger segment is
+	// ever deleted after a skipped older one — the invariant replay
+	// ordering depends on.
 	for _, task := range tasks {
 		for _, seg := range task.segs {
 			if err := os.Remove(seg); err != nil {
@@ -970,12 +1160,29 @@ func (t *Tree) compactOnce() (bool, error) {
 	t.bumpLocked()
 	t.mu.Unlock()
 
+	// Commit the merge before any input file is deleted: the fsynced
+	// record swaps the inputs for the output in the durable run set. As in
+	// flushTasks, a commit failure must wedge rather than retry (%v severs
+	// ErrInjected) — the output is already published.
+	inputNames := make([]string, len(inputs))
+	for i, r := range inputs {
+		inputNames[i] = filepath.Base(r.path)
+	}
+	if err := t.man.commitMerge(filepath.Base(nr.path), inputNames); err != nil {
+		for _, r := range inputs {
+			_ = r.release() // snapshot reference
+			_ = r.release() // published list's reference
+		}
+		return false, fmt.Errorf("lsm: merge published but not committed: %v", err)
+	}
+
 	// Drop the list's and our snapshot's references, then delete input
 	// files oldest-first, each once its last reader is gone. Oldest-first
 	// matters across a crash: a surviving newer input still carries the
 	// tombstones that mask deleted keys in older ones. If the tree closes
-	// mid-wait the remaining files stay on disk — the merged run shadows
-	// them on reopen, so the state is merely larger, never wrong.
+	// mid-wait the remaining files stay on disk — the committed output
+	// shadows them and the next Open sweeps them as orphans, so the state
+	// is merely larger, never wrong.
 	for _, r := range inputs {
 		_ = r.release() // snapshot reference
 		_ = r.release() // published list's reference
@@ -1065,6 +1272,11 @@ func (t *Tree) Close() error {
 		}
 	}
 	t.runs = nil
+	if t.man != nil {
+		if err := t.man.close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	return first
 }
 

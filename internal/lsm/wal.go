@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // walRecordKind distinguishes WAL record types. The kind byte doubles as a
@@ -35,6 +36,10 @@ type wal struct {
 	f    *os.File
 	w    *bufio.Writer
 	path string
+	// seq is the segment number parsed from the file name; the flusher
+	// records it as the manifest's checkpoint floor when the segment is
+	// retired, so replay knows exactly where durable history ends.
+	seq int
 	// syncEvery groups fsyncs: 0 disables syncing (tests), 1 syncs every
 	// append, n>1 syncs every n appends. A batch counts as a single append,
 	// so syncEvery=1 over batches is group commit: one deferred fsync per
@@ -71,7 +76,9 @@ func openWAL(path string, syncEvery int, fault FaultHook, m *Metrics) (*wal, err
 	if err != nil {
 		return nil, fmt.Errorf("lsm: opening wal: %w", err)
 	}
-	w := &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, syncEvery: syncEvery, fault: fault, metrics: m, gateC: make(chan struct{}, 1)}
+	var seq int
+	fmt.Sscanf(filepath.Base(path), "wal-%06d.log", &seq)
+	w := &wal{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, seq: seq, syncEvery: syncEvery, fault: fault, metrics: m, gateC: make(chan struct{}, 1)}
 	w.gateRelease() // seed the single group-commit token
 	return w, nil
 }

@@ -79,24 +79,40 @@ func (fs *frameScratch) release() {
 func openPartition(ds *Dataset, idx int, dir string, lsmOpt lsm.Options) (*Partition, error) {
 	p := &Partition{ds: ds, idx: idx, secondaries: make(map[string]*lsm.Tree)}
 	label := filepath.Base(dir)
-	primOpt := lsmOpt
-	primOpt.Dir = filepath.Join(dir, "primary")
-	primOpt.FaultHook = prefixHook(lsmOpt.FaultHook, label+"/primary/")
-	primary, err := lsm.Open(primOpt)
-	if err != nil {
-		return nil, err
+	// The primary and every secondary tree recover independently (separate
+	// directories, separate WALs), so open them concurrently: a partition's
+	// reopen cost is its slowest tree's recovery, not the sum.
+	treeOpt := func(sub, hook string) lsm.Options {
+		o := lsmOpt
+		o.Dir = filepath.Join(dir, sub)
+		o.FaultHook = prefixHook(lsmOpt.FaultHook, label+"/"+hook+"/")
+		return o
 	}
-	p.primary = primary
-	for _, ix := range ds.Indexes {
-		secOpt := lsmOpt
-		secOpt.Dir = filepath.Join(dir, "idx-"+ix.Name)
-		secOpt.FaultHook = prefixHook(lsmOpt.FaultHook, label+"/"+ix.Name+"/")
-		t, err := lsm.Open(secOpt)
+	trees := make([]*lsm.Tree, 1+len(ds.Indexes))
+	errs := make([]error, len(trees))
+	done := make(chan struct{}, len(trees))
+	open := func(slot int, opt lsm.Options) {
+		trees[slot], errs[slot] = lsm.Open(opt)
+		done <- struct{}{} // buffered to len(trees): never blocks
+	}
+	go open(0, treeOpt("primary", "primary"))
+	for i, ix := range ds.Indexes {
+		go open(1+i, treeOpt("idx-"+ix.Name, ix.Name))
+	}
+	for range trees {
+		<-done
+	}
+	p.primary = trees[0]
+	for i, ix := range ds.Indexes {
+		if trees[1+i] != nil {
+			p.secondaries[ix.Name] = trees[1+i]
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
-			_ = p.Close()
+			_ = p.Close() // releases whichever trees did open
 			return nil, err
 		}
-		p.secondaries[ix.Name] = t
 	}
 	return p, nil
 }

@@ -59,7 +59,7 @@ func TestReplicatedDatasetSurvivesStoreNodeLoss(t *testing.T) {
 
 	// All records eventually persist: pre-failure data survives in the
 	// promoted replica; in-flight records are replayed by at-least-once.
-	waitCount(t, inst, "Tweets", total, 60*time.Second)
+	waitIngested(t, inst, "feeds", "F", "Tweets", total, 60*time.Second)
 }
 
 // TestReplicationKeepsReplicaInSync checks the synchronous-mirroring write
@@ -71,7 +71,7 @@ func TestReplicationKeepsReplicaInSync(t *testing.T) {
 		create dataset Tweets(Tweet) primary key id with replication;
 		create feed F using tweetgen_adaptor ("rate"="100000", "count"="500", "seed"="33");
 		connect feed F to dataset Tweets using policy Basic;`)
-	waitCount(t, inst, "Tweets", 500, 20*time.Second)
+	waitIngested(t, inst, "feeds", "F", "Tweets", 500, 20*time.Second)
 
 	ds, _ := inst.Catalog().Dataset("feeds", "Tweets")
 	for i := range ds.NodeGroup {
@@ -154,7 +154,7 @@ func TestFeedMaintainsSecondaryIndexes(t *testing.T) {
 		create feed F using tweetgen_adaptor ("rate"="50000", "count"="300", "seed"="91")
 			apply function locate;
 		connect feed F to dataset GTs using policy Basic;`)
-	waitCount(t, inst, "GTs", 300, 20*time.Second)
+	waitIngested(t, inst, "feeds", "F", "GTs", 300, 20*time.Second)
 
 	sm, err := inst.StorageManager("A")
 	if err != nil {

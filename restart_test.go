@@ -1,6 +1,7 @@
 package asterixfeeds
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -35,8 +36,18 @@ func TestInstanceRestartRecoversCatalogAndData(t *testing.T) {
 		create feed F using tweetgen_adaptor ("rate"="100000", "count"="400", "seed"="17")
 			apply function tag;
 		connect feed F to dataset Tweets using policy MyPolicy;`)
-	waitCount(t, inst, "Tweets", 400, 20*time.Second)
+	conn, ok := inst.Feeds().Connection("feeds", "F", "Tweets")
+	if !ok {
+		t.Fatal("connection feeds.F -> Tweets not found")
+	}
+	if n := connSeries(inst, conn.ID()); n == 0 {
+		t.Fatal("connected feed published no feed.<conn> series")
+	}
+	waitIngested(t, inst, "feeds", "F", "Tweets", 400, 20*time.Second)
 	inst.MustExec(`disconnect feed F from dataset Tweets;`)
+	if n := connSeries(inst, conn.ID()); n != 0 {
+		t.Fatalf("disconnect leaked %d feed.%s series", n, conn.ID())
+	}
 	if err := inst.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +110,29 @@ func TestInstanceRestartRecoversCatalogAndData(t *testing.T) {
 		create feed F2 using tweetgen_adaptor ("rate"="100000", "count"="100", "seed"="18")
 			apply function tag;
 		connect feed F2 to dataset Tweets using policy MyPolicy;`)
-	waitCount(t, re, "Tweets", 500, 20*time.Second)
+	// The restarted instance has a fresh registry: the old connection's
+	// series must not have carried over, and the recovered feed's new
+	// connection must have re-registered exactly one set of series.
+	if n := connSeries(re, conn.ID()); n != 0 {
+		t.Fatalf("restarted instance resurrected %d series of the pre-restart connection", n)
+	}
+	conn2, ok := re.Feeds().Connection("feeds", "F2", "Tweets")
+	if !ok {
+		t.Fatal("connection feeds.F2 -> Tweets not found")
+	}
+	if got := connSeries(re, conn2.ID()); got == 0 {
+		t.Fatal("reconnected feed published no feed.<conn> series after restart")
+	}
+	persistedSeries := 0
+	for _, s := range re.Registry().Snapshot() {
+		if strings.HasSuffix(s.Name, ".persisted") && strings.HasPrefix(s.Name, "feed.") {
+			persistedSeries++
+		}
+	}
+	if persistedSeries != 1 {
+		t.Fatalf("registry holds %d feed.*.persisted series after restart, want exactly 1", persistedSeries)
+	}
+	waitIngested(t, re, "feeds", "F2", "Tweets", 500, 20*time.Second)
 }
 
 // TestRestartRejectsCorruptCatalog ensures a mangled catalog image fails
