@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-fast vet fmt bench-smoke watch-smoke chaos-smoke chaos-restart-smoke chaos ci
+.PHONY: build test race lint lint-fast vet fmt bench-smoke watch-smoke chaos-smoke chaos-restart-smoke chaos-overload-smoke chaos ci
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ test:
 # Race tier: the concurrency-heavy packages under the race detector.
 # -short keeps it fast enough to run on every change.
 race:
-	$(GO) test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
+	$(GO) test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/... ./internal/governor/...
 
 # feedlint enforces the architecture invariants in DESIGN.md.
 lint:
@@ -35,13 +35,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=FlushConcurrency -benchtime=1000x ./internal/lsm/
 	$(GO) test -run '^$$' -bench=ReadPath -benchtime=1x ./internal/lsm/
 	$(GO) test -run '^$$' -bench=Restart -benchtime=1x ./internal/lsm/
+	$(GO) test -run '^$$' -bench=Overload -benchtime=1x .
 
 # Observability smoke: the admin endpoints (/feeds, /metrics, pprof) and
 # the `show feeds` verb against a live socket feed, plus the per-policy
 # SubscriptionStats ledger invariant. Proves the feedwatch surface stays
 # coherent with the metrics registry it reads from.
 watch-smoke:
-	$(GO) test -count=1 -run 'TestAdminEndpointsDuringLiveFeed' .
+	$(GO) test -count=1 -run 'TestAdminEndpointsDuringLiveFeed|TestMetricsDocMatchesRegistry' .
 	$(GO) test -count=1 -run 'TestSubscriptionStats|TestSubscriptionSpillError' ./internal/core/
 
 # Chaos smoke: a 50-seed fault-injection sweep with the deterministic
@@ -57,6 +58,14 @@ chaos-smoke:
 # and a second clean restart must still recover exactly.
 chaos-restart-smoke:
 	$(GO) run ./cmd/feedchaos -restart -seeds 50 -records 150
+
+# Overload chaos: a 50-seed governor sweep — a seeded low-priority flood
+# offering several node-memory-budgets' worth of data races a high-priority
+# at-least-once feed. Invariants: governor-tracked bytes stay bounded, the
+# high-priority feed loses nothing, and the flood's shed ledger balances
+# exactly (stored + shed + discarded == emitted).
+chaos-overload-smoke:
+	$(GO) run ./cmd/feedchaos -overload -seeds 50 -records 120
 
 # Full chaos sweep: more seeds, full-size workloads. Not part of tier-1;
 # run before cutting a release or after touching recovery/replay code.

@@ -26,6 +26,7 @@ import (
 	"asterixfeeds/internal/adm"
 	"asterixfeeds/internal/aql"
 	"asterixfeeds/internal/core"
+	"asterixfeeds/internal/governor"
 	"asterixfeeds/internal/hyracks"
 	"asterixfeeds/internal/lsm"
 	"asterixfeeds/internal/metadata"
@@ -48,6 +49,9 @@ type Config struct {
 	Feeds core.Options
 	// LSM tunes the storage trees.
 	LSM lsm.Options
+	// Governor tunes each node's ingestion governor (memory budget,
+	// observe-only mode). The zero value applies the governor defaults.
+	Governor governor.Config
 }
 
 // Instance is a running simulated AsterixDB instance.
@@ -58,6 +62,7 @@ type Instance struct {
 	registry *metrics.Registry
 	dataDir  string
 	ownDir   bool
+	govCfg   governor.Config
 
 	mu        sync.Mutex
 	dataverse string
@@ -122,6 +127,7 @@ func Start(cfg Config) (*Instance, error) {
 		sm := newNodeStorage(reg, n, nodeDir(dataDir, n), cfg.LSM)
 		sms[n] = sm
 		cluster.Node(n).SetService(storage.ServiceName, sm)
+		newNodeGovernor(reg, cluster, n, sm, cfg.Governor)
 	}
 	// Reload a previously persisted catalog (metadata survives restarts
 	// just as stored data does). Absent or unreadable images start fresh.
@@ -165,6 +171,7 @@ func Start(cfg Config) (*Instance, error) {
 		registry:  reg,
 		dataDir:   dataDir,
 		ownDir:    ownDir,
+		govCfg:    cfg.Governor,
 		dataverse: "Default",
 	}
 	catalog.CreateDataverse("Default") //nolint:errcheck // always succeeds
@@ -217,6 +224,48 @@ func newNodeStorage(reg *metrics.Registry, name, dir string, lsmOpt lsm.Options)
 	return sm
 }
 
+// newNodeGovernor builds a node's ingestion governor, feeds it the byte
+// sources of every layer that buffers ingested data on the node — feed
+// backlogs and spill files (core), memtables (lsm), in-flight frames
+// (hyracks) — plus the LSM backpressure signal, registers it as the node
+// service the intake operators and the elastic controller consult, and
+// publishes its state under "node.<name>.governor.*".
+func newNodeGovernor(reg *metrics.Registry, cluster *hyracks.Cluster, name string, sm *storage.Manager, cfg governor.Config) *governor.Governor {
+	g := governor.New(name, cfg)
+	nc := cluster.Node(name)
+	g.RegisterSource("lsm", func() int64 { return int64(sm.Stats().MemtableBytes) })
+	g.RegisterSource("frames", nc.InFlightFrameBytes)
+	// The node's FeedManager is installed lazily by the first feed scheduled
+	// here, so the source resolves it per call rather than capturing it.
+	g.RegisterSource("feeds", func() int64 {
+		fm, _ := nc.Service(core.FeedManagerService).(*core.FeedManager)
+		if fm == nil {
+			return 0
+		}
+		return fm.TrackedBytes()
+	})
+	// LSM backpressure: frozen memtables queued for flush plus runs awaiting
+	// compaction. Four queued background units count as "at budget", so a
+	// storage layer that cannot keep up throttles intake even while tracked
+	// bytes still look healthy (write stalls are the end state this avoids).
+	g.RegisterSignal("lsm_backpressure", func() float64 {
+		st := sm.Stats()
+		return float64(st.Immutables+st.CompactionDebt) / 4
+	})
+	p := "node." + name + ".governor"
+	reg.RegisterGaugeFunc(p+".budget_bytes", g.Budget)
+	reg.RegisterGaugeFunc(p+".tracked_bytes", g.TrackedBytes)
+	reg.RegisterGaugeFunc(p+".pressure_permille", func() int64 { return int64(g.Pressure() * 1000) })
+	reg.RegisterCounter(p+".admitted_bytes", &g.AdmittedBytes)
+	reg.RegisterCounter(p+".admitted_records", &g.AdmittedRecords)
+	reg.RegisterCounter(p+".shed_frames", &g.ShedFrames)
+	reg.RegisterCounter(p+".shed_records", &g.ShedRecords)
+	reg.RegisterCounter(p+".delays", &g.Delays)
+	reg.RegisterCounter(p+".elastic_vetoes", &g.ElasticVetoes)
+	nc.SetService(governor.ServiceName, g)
+	return g
+}
+
 func catalogPath(root string) string { return root + "/catalog.adm" }
 
 // saveCatalog snapshots the catalog to disk (best effort; called after DDL
@@ -260,8 +309,21 @@ func (in *Instance) AddNode(name string) error {
 	if err != nil {
 		return err
 	}
-	n.SetService(storage.ServiceName, newNodeStorage(in.registry, name, nodeDir(in.dataDir, name), lsm.Options{}))
+	sm := newNodeStorage(in.registry, name, nodeDir(in.dataDir, name), lsm.Options{})
+	n.SetService(storage.ServiceName, sm)
+	newNodeGovernor(in.registry, in.cluster, name, sm, in.govCfg)
 	return nil
+}
+
+// Governor returns the named node's ingestion governor, or nil for an
+// unknown node.
+func (in *Instance) Governor(node string) *governor.Governor {
+	n := in.cluster.Node(node)
+	if n == nil {
+		return nil
+	}
+	g, _ := n.Service(governor.ServiceName).(*governor.Governor)
+	return g
 }
 
 // KillNode injects a hard failure of the named node.

@@ -44,10 +44,16 @@ echo "chaos-smoke: ok"
 go run ./cmd/feedchaos -restart -seeds 50 -records 150
 echo "chaos-restart-smoke: ok"
 
+make chaos-overload-smoke
+echo "chaos-overload-smoke: ok"
+
 if [ "${1:-}" = "-race" ]; then
-	go test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/...
+	go test -race -short ./internal/core/... ./internal/hyracks/... ./internal/lsm/... ./internal/governor/...
 	# End-to-end replication and restart tests: the promotion/resync and
 	# recovery paths are the most concurrency-sensitive in the stack.
 	go test -race -short -run '(?i)replicat|Restart|FeedMaintains' .
+	# The governor's load-shedding path under the race detector: the full
+	# 50-seed overload sweep (the acceptance bar for the governor).
+	go run -race ./cmd/feedchaos -overload -seeds 50 -records 120
 	echo "race: ok"
 fi

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 
 	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/governor"
 )
 
 // This file implements the Feed Management Console of the paper's
@@ -90,6 +91,7 @@ func latestRate(rates []float64) float64 {
 //	GET  /admin/cluster         node liveness as JSON
 //	GET  /metrics               the full metric registry, Prometheus text
 //	GET  /feeds                 per-connection FeedActivity snapshots, JSON
+//	GET  /governor              per-node ingestion-governor snapshots, JSON
 //	GET  /debug/pprof/          Go runtime profiles
 //	POST /query                 AQL statements in the body; results as JSON
 func (in *Instance) ConsoleHandler() http.Handler {
@@ -103,6 +105,15 @@ func (in *Instance) ConsoleHandler() http.Handler {
 	})
 	mux.HandleFunc("/feeds", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, in.feeds.FeedActivity())
+	})
+	mux.HandleFunc("/governor", func(w http.ResponseWriter, r *http.Request) {
+		var out []governor.Snapshot
+		for _, n := range in.cluster.AllNodes() {
+			if g := in.Governor(n); g != nil {
+				out = append(out, g.Snapshot())
+			}
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

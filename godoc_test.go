@@ -1,0 +1,71 @@
+package asterixfeeds_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryInternalPackageIsDocumented walks internal/ and requires two
+// things of every package: a godoc package comment somewhere, and — for the
+// direct children of internal/, the packages that appear in the layering
+// table — that the comment lives in a dedicated doc.go, so the overview
+// survives refactors of whichever file happened to be first alphabetically.
+func TestEveryInternalPackageIsDocumented(t *testing.T) {
+	pkgFiles := map[string][]string{}
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		pkgFiles[dir] = append(pkgFiles[dir], path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgFiles) == 0 {
+		t.Fatal("no packages found under internal/ (wrong working directory?)")
+	}
+
+	fset := token.NewFileSet()
+	for dir, files := range pkgFiles {
+		documented := ""
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			af, err := parser.ParseFile(fset, f, src, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			if af.Doc != nil && strings.HasPrefix(af.Doc.Text(), "Package ") {
+				documented = f
+				break
+			}
+		}
+		if documented == "" {
+			t.Errorf("package %s has no godoc package comment (// Package <name> ...)", dir)
+			continue
+		}
+		// Top-level packages must keep the comment in doc.go specifically.
+		if filepath.Dir(dir) == "internal" && filepath.Base(documented) != "doc.go" {
+			t.Errorf("package %s keeps its package comment in %s; move it to %s",
+				dir, filepath.Base(documented), filepath.Join(dir, "doc.go"))
+		}
+	}
+}

@@ -1,11 +1,3 @@
-// Package adm implements the AsterixDB Data Model (ADM): a semi-structured,
-// schema-optional data model with open and closed record types, ordered and
-// unordered lists, and a set of primitive, spatial, and temporal types.
-//
-// ADM is the substrate on which every other layer of this repository is
-// built: feed adaptors parse external data into adm.Value records, Hyracks
-// frames carry serialized ADM records between operators, and the storage
-// layer persists them in LSM components keyed by serialized primary keys.
 package adm
 
 import (

@@ -1,13 +1,3 @@
-// Package aql implements the subset of the AsterixDB Query Language the
-// paper's listings use: DDL (create dataverse/type/dataset/index/feed/
-// function/ingestion policy), feed lifecycle statements (connect feed,
-// disconnect), insert, and FLWOR query expressions with the spatial and
-// text builtins of Chapter 3.
-//
-// The package is a pure front end: parsing produces typed Statement values
-// and the evaluator executes expressions against a DataSource; statement
-// execution against a live cluster lives in the top-level asterixfeeds
-// package.
 package aql
 
 import "fmt"

@@ -1,25 +1,3 @@
-// Package chaos is a seeded, deterministic fault-injection harness for the
-// feed stack. A Schedule — derived entirely from a seed — arms failures at
-// named points threaded through the layers:
-//
-//	lsm:<node>/<partition>/<tree>/<wal-op>    WAL write/fsync errors, torn tails
-//	lsm:<node>/<partition>/<tree>/flush:bg    background flush fails/crashes pre-rename
-//	lsm:<node>/<partition>/<tree>/merge:bg    background merge fails/crashes pre-rename
-//	lsm:<node>/<partition>/<tree>/read:block  run block disk read fails / returns flipped bits
-//	lsm:<node>/<partition>/<tree>/manifest:append  manifest edit/snapshot write fails or tears
-//	lsm:<node>/<partition>/<tree>/recover:replay   crash mid-WAL-replay during Open
-//	frame:<node>:<operator>                 node death / stalls at frame boundaries
-//	core:ack:<node>                         lost ack messages
-//	core:resync:insert                      replica re-sync interruption
-//	adaptor:p<partition>                    adaptor crash/restart
-//
-// The scenario runner (Run) drives a TweetGen workload under the schedule
-// and then checks the ingestion invariants the paper promises: at-least-once
-// delivery, primary/secondary index consistency, replica convergence, WAL
-// replay idempotence, and recovery exactness (a reopened partition holds
-// exactly what it held while live, with unflushed memtable state rebuilt
-// from WAL segments). Same seed ⇒ same schedule ⇒ same verdict, so any
-// failing run is a one-line repro.
 package chaos
 
 import (

@@ -54,6 +54,12 @@ func (m *Manager) registerConnMetricsLocked(conn *Connection) {
 	r.RegisterGaugeFunc(p+".throttled_out", func() int64 {
 		return m.connSubscriptionStats(conn).ThrottledOut
 	})
+	r.RegisterGaugeFunc(p+".governor.shed", func() int64 {
+		return m.connSubscriptionStats(conn).GovernorShed
+	})
+	r.RegisterGaugeFunc(p+".governor.priority", func() int64 {
+		return int64(conn.pol.Priority)
+	})
 }
 
 // connSubscriptionStats aggregates the connection's intake-side policy
@@ -69,6 +75,7 @@ func (m *Manager) connSubscriptionStats(conn *Connection) SubscriptionStats {
 		total.ThrottledOut += st.ThrottledOut
 		total.SpilledTotal += st.SpilledTotal
 		total.SpillErrors += st.SpillErrors
+		total.GovernorShed += st.GovernorShed
 	})
 	return total
 }
@@ -109,6 +116,7 @@ type PartitionActivity struct {
 	ThrottledOut  int64  `json:"throttledOut"`
 	SpilledTotal  int64  `json:"spilledTotal"`
 	SpillErrors   int64  `json:"spillErrors"`
+	GovernorShed  int64  `json:"governorShed"`
 }
 
 // FeedActivity is one connection's monitoring snapshot: lifecycle state,
@@ -134,16 +142,18 @@ type FeedActivity struct {
 	ComputeRate    float64 `json:"computeRate"`
 	PersistRate    float64 `json:"persistRate"`
 
-	Backlog      int   `json:"backlog"`
-	PendingAcks  int   `json:"pendingAcks"`
-	SoftFailures int64 `json:"softFailures"`
-	StoreErrors  int64 `json:"storeErrors"`
-	Replayed     int64 `json:"replayed"`
-	Discarded    int64 `json:"discarded"`
-	ThrottledOut int64 `json:"throttledOut"`
-	SpilledTotal int64 `json:"spilledTotal"`
-	SpilledBytes int64 `json:"spilledBytes"`
-	SpillErrors  int64 `json:"spillErrors"`
+	Backlog      int    `json:"backlog"`
+	PendingAcks  int    `json:"pendingAcks"`
+	SoftFailures int64  `json:"softFailures"`
+	StoreErrors  int64  `json:"storeErrors"`
+	Replayed     int64  `json:"replayed"`
+	Discarded    int64  `json:"discarded"`
+	ThrottledOut int64  `json:"throttledOut"`
+	SpilledTotal int64  `json:"spilledTotal"`
+	SpilledBytes int64  `json:"spilledBytes"`
+	SpillErrors  int64  `json:"spillErrors"`
+	GovernorShed int64  `json:"governorShed"`
+	Priority     string `json:"priority"`
 
 	LatencyP50 time.Duration `json:"latencyP50Ns"`
 	LatencyP99 time.Duration `json:"latencyP99Ns"`
@@ -172,6 +182,7 @@ func (m *Manager) feedActivityOf(c *Connection) FeedActivity {
 		Feed:         c.Feed().QualifiedName(),
 		Dataset:      c.Dataset().QualifiedName(),
 		Policy:       c.Policy().Name,
+		Priority:     c.Policy().Priority.String(),
 		State:        c.State().String(),
 		IntakeNodes:  intake,
 		ComputeNodes: compute,
@@ -210,6 +221,7 @@ func (m *Manager) feedActivityOf(c *Connection) FeedActivity {
 			ThrottledOut:  st.ThrottledOut,
 			SpilledTotal:  st.SpilledTotal,
 			SpillErrors:   st.SpillErrors,
+			GovernorShed:  st.GovernorShed,
 		})
 		a.Backlog += st.Backlog
 		a.Discarded += st.Discarded
@@ -217,6 +229,7 @@ func (m *Manager) feedActivityOf(c *Connection) FeedActivity {
 		a.SpilledTotal += st.SpilledTotal
 		a.SpilledBytes += st.SpilledBytes
 		a.SpillErrors += st.SpillErrors
+		a.GovernorShed += st.GovernorShed
 	})
 	return a
 }

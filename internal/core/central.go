@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"asterixfeeds/internal/governor"
 	"asterixfeeds/internal/hyracks"
 	"asterixfeeds/internal/metadata"
 	"asterixfeeds/internal/metrics"
@@ -440,6 +441,27 @@ func (m *Manager) feedManagerAt(node string) *FeedManager {
 	return fm
 }
 
+func (m *Manager) governorAt(node string) *governor.Governor {
+	n := m.cluster.Node(node)
+	if n == nil {
+		return nil
+	}
+	g, _ := n.Service(governor.ServiceName).(*governor.Governor)
+	return g
+}
+
+// dropAdmissionEverywhere forgets the named admission on every node's
+// governor. Teardown paths cannot always tell which nodes an intake or
+// head actually reached (failure paths reshuffle placement), and dropping
+// an unknown name is a no-op, so sweeping the cluster is the robust form.
+func (m *Manager) dropAdmissionEverywhere(name string) {
+	for _, node := range m.cluster.AllNodes() {
+		if g := m.governorAt(node); g != nil {
+			g.DropAdmission(name)
+		}
+	}
+}
+
 // startTailLocked compiles and schedules a connection's tail job:
 // FeedIntake (co-located with the source joints) → Assign stages (compute)
 // → Store (co-located with the dataset partitions), with the connectors of
@@ -699,6 +721,7 @@ func (m *Manager) teardownConnLocked(conn *Connection, graceful bool) {
 		m.dropProductionLocked(st.signature, conn.id)
 	}
 	conn.stopTracker()
+	m.dropAdmissionEverywhere("feed:" + conn.id)
 	m.registry.Unregister(connMetricPrefix(conn.id))
 	m.derefHeadLocked(conn)
 }
@@ -719,6 +742,7 @@ func (m *Manager) derefHeadLocked(conn *Connection) {
 			<-h.job.Done()
 		}
 		m.dropProductionLocked(sig, "head:"+sig)
+		m.dropAdmissionEverywhere("head:" + sig)
 		delete(m.heads, sig)
 	}
 }

@@ -222,6 +222,12 @@ func (c *Connection) ElasticEvents() []string {
 	return append([]string(nil), c.elasticEvents...)
 }
 
+func (c *Connection) addElasticEvent(msg string) {
+	c.mu.Lock()
+	c.elasticEvents = append(c.elasticEvents, msg)
+	c.mu.Unlock()
+}
+
 // SetPersistObserver installs fn to observe every record persisted through
 // this connection. Pass nil to remove.
 func (c *Connection) SetPersistObserver(fn func(*adm.Record)) {

@@ -1,0 +1,15 @@
+// Package core implements the paper's primary contribution: data feed
+// management for AsterixDB. It provides feed adaptors, feed joints, the
+// intake/compute/store operators that make up data ingestion pipelines,
+// cascade networks over shared head sections, ingestion policies (Basic,
+// Spill, Discard, Throttle, Elastic, and user-composed customs), the
+// fault-tolerance protocol of Chapter 6, at-least-once delivery (§5.6), and
+// the congestion machinery of Chapter 7.
+//
+// The package is layered on hyracks (execution), storage (persistence), adm
+// (data model), and metadata (catalog). The Manager type is the Central
+// Feed Manager; one FeedManager service runs per node. When the embedding
+// instance installs an ingestion governor (internal/governor) as a node
+// service, intake paths consult it for node-wide admission control on top
+// of the per-subscription policies.
+package core

@@ -66,12 +66,37 @@ func (m *Manager) elasticLoop(conn *Connection) {
 		}
 		if over >= scaleOutAfter {
 			over = 0
+			// Scaling out while the hosting node is over its memory budget
+			// would add compute demand to a node already shedding load, so
+			// the governor gets a veto: backlog must first drain (or be
+			// shed) back under budget.
+			if m.governorVetoesScaleOut(conn) {
+				continue
+			}
 			m.rescale(conn, +1, minCompute)
 		} else if idle >= scaleInAfter {
 			idle = 0
 			m.rescale(conn, -1, minCompute)
 		}
 	}
+}
+
+// governorVetoesScaleOut reports whether an ingestion governor on one of
+// the connection's intake nodes is over its memory budget. A veto is
+// counted on the governor and recorded as an elastic event so tests and
+// the console can see the refused decision.
+func (m *Manager) governorVetoesScaleOut(conn *Connection) bool {
+	conn.mu.Lock()
+	locs := append([]string(nil), conn.intakeLocs...)
+	conn.mu.Unlock()
+	for _, loc := range locs {
+		if g := m.governorAt(loc); g != nil && g.OverBudget() {
+			g.ElasticVetoes.Add(1)
+			conn.addElasticEvent(fmt.Sprintf("scale-out vetoed: node %s over memory budget", loc))
+			return true
+		}
+	}
+	return false
 }
 
 // connBacklog sums the connection's subscription backlogs (in-memory plus

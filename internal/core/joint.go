@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"asterixfeeds/internal/governor"
 	"asterixfeeds/internal/hyracks"
 
 	"asterixfeeds/internal/metrics"
@@ -277,6 +278,44 @@ func (j *Joint) Deposit(f *hyracks.Frame) (retained bool) {
 	}
 }
 
+// trackedBytes sums the subscriptions' backlog and spill bytes — the
+// joint's contribution to the node governor's tracked total. Subscriptions
+// are copied out under j.mu and summed outside it: bytesTracked takes each
+// subscription's lock, and offer paths already hold one while querying the
+// governor.
+func (j *Joint) trackedBytes() int64 {
+	j.mu.Lock()
+	subs := make([]*Subscription, 0, len(j.subs))
+	for _, s := range j.subs {
+		subs = append(subs, s)
+	}
+	j.mu.Unlock()
+	var n int64
+	for _, s := range subs {
+		n += s.bytesTracked()
+	}
+	return n
+}
+
+// headClass reports the priority class the joint's producing head should be
+// gated at: the maximum class over non-lossy subscribers (their intake can
+// only be slowed, not shed). ok is false when every subscriber is lossy —
+// then the head must not block, because the subscriptions shed refused
+// frames themselves.
+func (j *Joint) headClass() (cls governor.Class, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, s := range j.subs {
+		if s.pol.Discard || s.pol.Throttle {
+			continue
+		}
+		if !ok || s.pol.Priority > cls {
+			cls, ok = s.pol.Priority, true
+		}
+	}
+	return cls, ok
+}
+
 // close marks the joint closed and closes all subscriptions.
 func (j *Joint) close() {
 	j.mu.Lock()
@@ -293,11 +332,11 @@ func (j *Joint) close() {
 // feed management console (§7.2) surfaces these. The counters satisfy the
 // accounting invariant
 //
-//	Received == delivered + Discarded + ThrottledOut
+//	Received == delivered + Discarded + ThrottledOut + GovernorShed
 //
 // once the subscription has drained (delivered being the records handed out
 // by Next): every record offered to a live subscription is eventually
-// delivered, discarded, or throttled away.
+// delivered, discarded, throttled away, or shed by the node governor.
 type SubscriptionStats struct {
 	// Backlog is the current in-memory backlog in records.
 	Backlog int
@@ -318,6 +357,11 @@ type SubscriptionStats struct {
 	// fall back to in-memory buffering (no records are lost), but a
 	// non-zero value means the disk overflow area is not doing its job.
 	SpillErrors int64
+	// GovernorShed counts records dropped because the node governor
+	// refused admission while the node was over its memory budget. Only
+	// lossy policies (Discard, Throttle) shed this way; non-lossy
+	// policies divert refused frames to spill or keep buffering instead.
+	GovernorShed int64
 }
 
 // Subscription is one consumer's registration with a feed joint: an
@@ -329,17 +373,21 @@ type Subscription struct {
 	id  string
 	pol *Policy
 
-	mu       sync.Mutex
-	frames   []*hyracks.Frame
-	buckets  []*dataBucket // parallel to frames; nil entries for short-circuited frames
-	arrived  []time.Time   // parallel to frames; enqueue instants
-	backlog  int           // records currently queued in memory
-	spill    *spillFile
-	draining bool
-	closed   bool
-	notify   chan struct{}
-	rnd      *rand.Rand
-	stats    SubscriptionStats
+	mu      sync.Mutex
+	frames  []*hyracks.Frame
+	buckets []*dataBucket // parallel to frames; nil entries for short-circuited frames
+	arrived []time.Time   // parallel to frames; enqueue instants
+	backlog int           // records currently queued in memory
+	// backlogBytes is the in-memory backlog in bytes; with the spill
+	// file's on-disk footprint it is the subscription's contribution to
+	// the node governor's tracked total.
+	backlogBytes int64
+	spill        *spillFile
+	draining     bool
+	closed       bool
+	notify       chan struct{}
+	rnd          *rand.Rand
+	stats        SubscriptionStats
 	// latency, when set, samples each dequeued frame's queueing delay —
 	// the intake-side component of ingestion latency (Table 7.1).
 	latency *metrics.LatencyRecorder
@@ -352,6 +400,11 @@ type Subscription struct {
 	spillFault func(point string) error
 	// spillLogOnce limits spill-error logging to once per subscription.
 	spillLogOnce sync.Once
+	// adm, when set, is the node governor's admission handle for this
+	// subscription's connection. offer consults it before taking s.mu:
+	// the governor's byte sources walk subscription locks, so deciding
+	// admission under s.mu would close a lock cycle.
+	adm *governor.Admission
 }
 
 func newSubscription(id string, pol *Policy, spillPath string) (*Subscription, error) {
@@ -398,6 +451,34 @@ func (s *Subscription) SetSpillFault(fn func(point string) error) {
 	s.mu.Unlock()
 }
 
+// SetAdmission installs the node governor's admission handle; every
+// subsequently offered frame is submitted to it for admission before any
+// per-subscription policy runs.
+func (s *Subscription) SetAdmission(adm *governor.Admission) {
+	s.mu.Lock()
+	s.adm = adm
+	s.mu.Unlock()
+}
+
+func (s *Subscription) admission() *governor.Admission {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adm
+}
+
+// bytesTracked is the subscription's contribution to the governor's
+// tracked total: in-memory backlog bytes plus the spill file's current
+// on-disk footprint.
+func (s *Subscription) bytesTracked() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.backlogBytes
+	if s.spill != nil {
+		n += s.spill.bytes
+	}
+	return n
+}
+
 // Stats returns a snapshot of the subscription's counters.
 func (s *Subscription) Stats() SubscriptionStats {
 	s.mu.Lock()
@@ -417,11 +498,17 @@ func (s *Subscription) isDraining() bool {
 	return s.draining || s.closed
 }
 
-// offer is the enqueue path called by Joint.Deposit; it applies the
-// ingestion policy's excess-record handling (Table 4.2). It reports whether
-// the subscription retained f itself — false when the frame was dropped,
-// throttled into a fresh frame, or copied to the spill file.
+// offer is the enqueue path called by Joint.Deposit; it applies the node
+// governor's admission decision and then the ingestion policy's
+// excess-record handling (Table 4.2). It reports whether the subscription
+// retained f itself — false when the frame was dropped, throttled into a
+// fresh frame, or copied to the spill file.
 func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
+	// Admission is decided before s.mu is taken (see the adm field note).
+	shed := false
+	if adm := s.admission(); adm != nil && adm.Admit(int64(f.Bytes()), int64(f.Len())) == governor.Shed {
+		shed = true
+	}
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()
@@ -431,7 +518,24 @@ func (s *Subscription) offer(f *hyracks.Frame, b *dataBucket) (retained bool) {
 		return false
 	}
 	s.stats.Received += int64(f.Len())
-	excess := s.backlog >= s.pol.MemoryBudgetRecords
+	if shed && (s.pol.Discard || s.pol.Throttle) {
+		// The governor refused admission and the policy permits loss:
+		// shed the whole frame. Non-lossy policies instead fall through
+		// with excess forced, diverting the frame to spill (or, for
+		// Basic, buffering — the blocking head gate is what slows a
+		// non-lossy feed down).
+		s.stats.GovernorShed += int64(f.Len())
+		adm := s.adm
+		s.mu.Unlock()
+		if adm != nil {
+			adm.CountShed(int64(f.Len()))
+		}
+		if b != nil {
+			b.release()
+		}
+		return false
+	}
+	excess := s.backlog >= s.pol.MemoryBudgetRecords || shed
 	var elasticCB func()
 	switch {
 	case !excess:
@@ -534,6 +638,7 @@ func (s *Subscription) enqueueLocked(f *hyracks.Frame, b *dataBucket) {
 	s.buckets = append(s.buckets, b)
 	s.arrived = append(s.arrived, nowFunc())
 	s.backlog += f.Len()
+	s.backlogBytes += int64(f.Bytes())
 	select {
 	case s.notify <- struct{}{}:
 	default:
@@ -554,6 +659,7 @@ func (s *Subscription) Next(cancel <-chan struct{}) (f *hyracks.Frame, ok bool) 
 			s.buckets = s.buckets[1:]
 			s.arrived = s.arrived[1:]
 			s.backlog -= f.Len()
+			s.backlogBytes -= int64(f.Bytes())
 			if s.latency != nil {
 				s.latency.Record(sinceFunc(at))
 			}
@@ -602,6 +708,7 @@ func (s *Subscription) replenishFromSpillLocked() {
 		s.buckets = append(s.buckets, nil)
 		s.arrived = append(s.arrived, nowFunc())
 		s.backlog += f.Len()
+		s.backlogBytes += int64(f.Bytes())
 	}
 }
 
@@ -616,6 +723,7 @@ func (s *Subscription) requeue(f *hyracks.Frame) {
 	s.buckets = append([]*dataBucket{nil}, s.buckets...)
 	s.arrived = append([]time.Time{nowFunc()}, s.arrived...)
 	s.backlog += f.Len()
+	s.backlogBytes += int64(f.Bytes())
 	s.mu.Unlock()
 }
 
@@ -649,6 +757,7 @@ func (s *Subscription) discardAndClose() {
 	s.buckets = nil
 	s.arrived = nil
 	s.backlog = 0
+	s.backlogBytes = 0
 	sp := s.spill
 	s.spill = nil
 	s.mu.Unlock()

@@ -90,6 +90,24 @@ func (m *FeedManager) RemoveJoint(signature string, partition int) {
 	}
 }
 
+// TrackedBytes sums the backlog and spill bytes buffered across every
+// hosted joint — this node's feed-layer contribution to the ingestion
+// governor's memory accounting. Joints are copied out under m.mu and
+// summed outside it, mirroring the joint's own locking discipline.
+func (m *FeedManager) TrackedBytes() int64 {
+	m.mu.Lock()
+	joints := make([]*Joint, 0, len(m.joints))
+	for _, j := range m.joints {
+		joints = append(joints, j)
+	}
+	m.mu.Unlock()
+	var n int64
+	for _, j := range joints {
+		n += j.trackedBytes()
+	}
+	return n
+}
+
 // Joints lists the signatures of hosted joints (for monitoring and tests).
 func (m *FeedManager) Joints() []string {
 	m.mu.Lock()

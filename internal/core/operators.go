@@ -9,9 +9,17 @@ import (
 	"time"
 
 	"asterixfeeds/internal/adm"
+	"asterixfeeds/internal/governor"
 	"asterixfeeds/internal/hyracks"
 	"asterixfeeds/internal/storage"
 )
+
+// governorOf fetches the node-local ingestion governor from a task context;
+// nil when the embedding instance runs ungoverned.
+func governorOf(ctx *hyracks.TaskContext) *governor.Governor {
+	g, _ := ctx.Service(governor.ServiceName).(*governor.Governor)
+	return g
+}
 
 func osMkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
@@ -72,6 +80,12 @@ func (r *collectRuntime) Run() error {
 	}
 
 	sink := newBatchingSink(joint, r.frameCap(), defaultFlushInterval, r.ctx.Canceled)
+	if g := governorOf(r.ctx); g != nil {
+		// The head gate: deposits block while the node is over budget and
+		// a non-lossy subscriber is attached. The class is refreshed per
+		// deposit from the joint's subscribers.
+		sink.adm = g.Admission("head:"+r.op.signature, governor.ClassNormal)
+	}
 	defer sink.stop()
 	if err := adaptor.Start(sink, r.ctx.Canceled); err != nil {
 		// The adaptor found reconnection futile: the feed ends (§6.2.3).
@@ -100,6 +114,10 @@ type batchingSink struct {
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	canceled <-chan struct{}
+	// adm, when set, gates deposits through the node governor: while the
+	// node is over budget and the joint has a non-lossy subscriber, the
+	// sink blocks (slowing the adaptor) instead of growing the backlog.
+	adm *governor.Admission
 }
 
 func newBatchingSink(joint *Joint, frameCap int, flushEvery time.Duration, canceled <-chan struct{}) *batchingSink {
@@ -141,9 +159,8 @@ func (s *batchingSink) Emit(rec *adm.Record) error {
 		s.buf = hyracks.GetFrame(s.cap)
 	}
 	s.mu.Unlock()
-	if out != nil && !s.joint.Deposit(out) {
-		// No subscription kept the frame: recycle its header.
-		hyracks.PutFrame(out)
+	if out != nil {
+		s.deposit(out)
 	}
 	return nil
 }
@@ -156,7 +173,26 @@ func (s *batchingSink) flush() {
 		s.buf = hyracks.GetFrame(s.cap)
 	}
 	s.mu.Unlock()
-	if out != nil && !s.joint.Deposit(out) {
+	if out != nil {
+		s.deposit(out)
+	}
+}
+
+// deposit hands one batched frame to the joint, first passing the head
+// gate. The gate only blocks when a non-lossy subscriber is attached —
+// lossy subscribers shed refused frames themselves, and blocking the head
+// would starve them of the frames their policy is supposed to drop. A
+// cancel during the gate still deposits: the frame's records were emitted
+// by the adaptor and must reach the parked subscription state.
+func (s *batchingSink) deposit(out *hyracks.Frame) {
+	if s.adm != nil {
+		if cls, ok := s.joint.headClass(); ok {
+			s.adm.SetClass(cls)
+			s.adm.Wait(int64(out.Bytes()), int64(out.Len()), s.canceled)
+		}
+	}
+	if !s.joint.Deposit(out) {
+		// No subscription kept the frame: recycle its header.
 		hyracks.PutFrame(out)
 	}
 }
@@ -219,6 +255,9 @@ func (r *intakeRuntime) Run() error {
 	sub.SetLatencyRecorder(conn.Metrics.IngestionLatency)
 	if r.op.fault != nil {
 		sub.SetSpillFault(r.op.fault)
+	}
+	if g := governorOf(r.ctx); g != nil {
+		sub.SetAdmission(g.Admission("feed:"+conn.id, conn.pol.Priority))
 	}
 
 	// Pump subscription frames into a channel so the main loop can also

@@ -1,14 +1,3 @@
-// Package core implements the paper's primary contribution: data feed
-// management for AsterixDB. It provides feed adaptors, feed joints, the
-// intake/compute/store operators that make up data ingestion pipelines,
-// cascade networks over shared head sections, ingestion policies (Basic,
-// Spill, Discard, Throttle, Elastic, and user-composed customs), the
-// fault-tolerance protocol of Chapter 6, at-least-once delivery (§5.6), and
-// the congestion machinery of Chapter 7.
-//
-// The package is layered on hyracks (execution), storage (persistence), adm
-// (data model), and metadata (catalog). The Manager type is the Central
-// Feed Manager; one FeedManager service runs per node.
 package core
 
 import (
@@ -16,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"asterixfeeds/internal/governor"
 	"asterixfeeds/internal/metadata"
 )
 
@@ -56,6 +46,10 @@ type Policy struct {
 	MemoryBudgetRecords int
 	// ThrottleMinRatio floors the throttling keep-probability.
 	ThrottleMinRatio float64
+	// Priority is the feed's governor priority class: under node-wide
+	// memory pressure, low-priority connections are metered and shed
+	// before normal ones, and high-priority connections are never gated.
+	Priority governor.Class
 }
 
 // DefaultMemoryBudgetRecords is the per-subscription backlog budget when the
@@ -106,6 +100,11 @@ func CompilePolicy(decl *metadata.PolicyDecl) (*Policy, error) {
 		}
 		p.ThrottleMinRatio = f
 	}
+	cls, err := governor.ParseClass(decl.Param(metadata.ParamPriority, ""))
+	if err != nil {
+		return nil, fmt.Errorf("core: policy %s: bad %s: %v", decl.Name, metadata.ParamPriority, err)
+	}
+	p.Priority = cls
 	return p, nil
 }
 

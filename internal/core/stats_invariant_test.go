@@ -25,9 +25,10 @@ func drainAll(j *Joint, s *Subscription, id string) int64 {
 }
 
 // Every policy must satisfy the SubscriptionStats ledger at drain:
-// Received == delivered + Discarded + ThrottledOut — records are delivered,
-// dropped by an explicit policy action, or still counted; never silently
-// lost. Spill is not a loss term: spilled records come back.
+// Received == delivered + Discarded + ThrottledOut + GovernorShed — records
+// are delivered, dropped by an explicit policy action, shed by the ingestion
+// governor, or still counted; never silently lost. Spill is not a loss term:
+// spilled records come back.
 func TestSubscriptionStatsDrainInvariant(t *testing.T) {
 	const offered = 500
 	cases := []struct {
@@ -76,9 +77,9 @@ func TestSubscriptionStatsDrainInvariant(t *testing.T) {
 			if st.Received != offered {
 				t.Fatalf("Received = %d, want %d (every offered record counted)", st.Received, offered)
 			}
-			if st.Received != delivered+st.Discarded+st.ThrottledOut {
-				t.Fatalf("ledger violated: Received %d != delivered %d + Discarded %d + ThrottledOut %d",
-					st.Received, delivered, st.Discarded, st.ThrottledOut)
+			if st.Received != delivered+st.Discarded+st.ThrottledOut+st.GovernorShed {
+				t.Fatalf("ledger violated: Received %d != delivered %d + Discarded %d + ThrottledOut %d + GovernorShed %d",
+					st.Received, delivered, st.Discarded, st.ThrottledOut, st.GovernorShed)
 			}
 			if st.SpillErrors != 0 {
 				t.Fatalf("SpillErrors = %d without injected faults", st.SpillErrors)

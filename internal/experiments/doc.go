@@ -1,0 +1,9 @@
+// Package experiments implements the paper's evaluation: one function per
+// table and figure, each building the workload, running it on a simulated
+// cluster, and returning the rows/series the paper reports. cmd/feedbench
+// and the repository-root benchmarks are thin wrappers over this package.
+//
+// Durations and rates are scaled down from the paper's 400-second/20-minute
+// windows to seconds (see DESIGN.md, Substitutions); every experiment takes
+// a Scale so the harness can run quick (CI) or long (report) variants.
+package experiments

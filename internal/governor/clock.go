@@ -1,0 +1,9 @@
+package governor
+
+import "time"
+
+// nowFunc is the governor's clock indirection point, mirroring the idiom of
+// internal/core: the simclock analyzer (cmd/feedlint) forbids direct
+// time.Now()/time.Since() calls in this package so deterministic harnesses
+// can pin time; everything reads the clock through this hook instead.
+var nowFunc = time.Now

@@ -1,0 +1,291 @@
+package governor
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"asterixfeeds/internal/metrics"
+)
+
+// ServiceName is the node-service key under which each node's Governor is
+// registered with its hyracks.NodeController.
+const ServiceName = "ingestion-governor"
+
+// DefaultBudgetBytes is the node memory budget when the config does not
+// override it. It bounds governor-tracked bytes (backlogs, spill files,
+// memtables, in-flight frames), not the process heap.
+const DefaultBudgetBytes = 64 << 20
+
+// defaultPressureInterval caches pressure computations: the byte sources
+// walk subscriptions and storage stats, which would be wasteful to redo on
+// every offered frame.
+const defaultPressureInterval = time.Millisecond
+
+// Config tunes a node's Governor.
+type Config struct {
+	// BudgetBytes is the node-wide memory budget; <=0 means
+	// DefaultBudgetBytes.
+	BudgetBytes int64
+	// ObserveOnly keeps byte accounting and pressure reporting live but
+	// forces every admission decision to Admit — the governor watches
+	// without governing. Benchmarks use it to measure ungoverned growth.
+	ObserveOnly bool
+	// PressureInterval bounds how often tracked bytes and pressure are
+	// recomputed; 0 means defaultPressureInterval, negative disables the
+	// cache entirely (every query recomputes — tests use this).
+	PressureInterval time.Duration
+}
+
+type namedSource struct {
+	name string
+	fn   func() int64
+}
+
+type namedSignal struct {
+	name string
+	fn   func() float64
+}
+
+// Governor is one node's ingestion arbiter: registered byte sources sum
+// into tracked bytes, registered signals contribute additional pressure,
+// and per-connection Admissions meter intake against the resulting
+// pressure. All methods are safe for concurrent use.
+//
+// Locking discipline: the governor never calls a source, signal, or any
+// other external code while holding one of its own locks — sources
+// routinely take subscription and storage locks, and intake paths query the
+// governor while holding theirs, so a callback under a governor lock would
+// close a lock cycle.
+type Governor struct {
+	node    string
+	budget  int64
+	observe bool
+	ttl     time.Duration
+
+	mu      sync.Mutex
+	sources []namedSource
+	signals []namedSignal
+	adms    map[string]*Admission
+
+	cacheMu        sync.Mutex
+	cachedAt       time.Time
+	cachedTracked  int64
+	cachedPressure float64
+
+	// Decision counters, published by the embedding instance as
+	// node.<n>.governor.* series. AdmittedBytes/AdmittedRecords count
+	// traffic the governor let through; ShedFrames/ShedRecords count
+	// records actually dropped on a Shed decision (reported by the caller
+	// via Admission.CountShed — a Shed decision a non-lossy policy converts
+	// to spill is not a shed); Delays counts blocking-gate episodes;
+	// ElasticVetoes counts scale-outs refused while over budget.
+	AdmittedBytes   metrics.Counter
+	AdmittedRecords metrics.Counter
+	ShedFrames      metrics.Counter
+	ShedRecords     metrics.Counter
+	Delays          metrics.Counter
+	ElasticVetoes   metrics.Counter
+}
+
+// New creates the governor for one node.
+func New(node string, cfg Config) *Governor {
+	budget := cfg.BudgetBytes
+	if budget <= 0 {
+		budget = DefaultBudgetBytes
+	}
+	ttl := cfg.PressureInterval
+	if ttl == 0 {
+		ttl = defaultPressureInterval
+	}
+	return &Governor{
+		node:    node,
+		budget:  budget,
+		observe: cfg.ObserveOnly,
+		ttl:     ttl,
+		adms:    make(map[string]*Admission),
+	}
+}
+
+// Node returns the owning node's name.
+func (g *Governor) Node() string { return g.node }
+
+// Budget returns the node memory budget in bytes.
+func (g *Governor) Budget() int64 { return g.budget }
+
+// ObserveOnly reports whether admission decisions are disabled.
+func (g *Governor) ObserveOnly() bool { return g.observe }
+
+// RegisterSource adds a named byte source to the tracked total. The
+// function is called outside governor locks and must be safe for concurrent
+// use; negative returns count as zero.
+func (g *Governor) RegisterSource(name string, fn func() int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sources = append(g.sources, namedSource{name, fn})
+}
+
+// RegisterSignal adds a named pressure signal: a function returning a
+// pressure contribution on the same scale as bytes/budget (1.0 means "at
+// budget"). Effective pressure is the maximum of the byte pressure and all
+// signals, so a stalling LSM raises pressure even while tracked bytes look
+// healthy.
+func (g *Governor) RegisterSignal(name string, fn func() float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.signals = append(g.signals, namedSignal{name, fn})
+}
+
+// measure recomputes tracked bytes and pressure. Sources and signals are
+// copied out under the lock and invoked outside it (see the locking
+// discipline above).
+func (g *Governor) measure() (tracked int64, pressure float64) {
+	g.mu.Lock()
+	srcs := append([]namedSource(nil), g.sources...)
+	sigs := append([]namedSignal(nil), g.signals...)
+	g.mu.Unlock()
+	for _, s := range srcs {
+		if v := s.fn(); v > 0 {
+			tracked += v
+		}
+	}
+	pressure = float64(tracked) / float64(g.budget)
+	for _, s := range sigs {
+		if v := s.fn(); v > pressure {
+			pressure = v
+		}
+	}
+	return tracked, pressure
+}
+
+// load returns tracked bytes and pressure, recomputing at most once per
+// PressureInterval.
+func (g *Governor) load() (tracked int64, pressure float64) {
+	if g.ttl > 0 {
+		g.cacheMu.Lock()
+		if !g.cachedAt.IsZero() && nowFunc().Sub(g.cachedAt) < g.ttl {
+			t, p := g.cachedTracked, g.cachedPressure
+			g.cacheMu.Unlock()
+			return t, p
+		}
+		g.cacheMu.Unlock()
+	}
+	tracked, pressure = g.measure()
+	if g.ttl > 0 {
+		g.cacheMu.Lock()
+		g.cachedAt = nowFunc()
+		g.cachedTracked = tracked
+		g.cachedPressure = pressure
+		g.cacheMu.Unlock()
+	}
+	return tracked, pressure
+}
+
+// TrackedBytes returns the current sum of all byte sources.
+func (g *Governor) TrackedBytes() int64 {
+	t, _ := g.load()
+	return t
+}
+
+// Pressure returns the current effective pressure: max(tracked/budget,
+// signals). 1.0 means the node is exactly at budget.
+func (g *Governor) Pressure() float64 {
+	_, p := g.load()
+	return p
+}
+
+// OverBudget reports whether effective pressure has reached 1.0; elastic
+// scale-out decisions consult this.
+func (g *Governor) OverBudget() bool { return g.Pressure() >= 1 }
+
+// Admission returns (creating if needed) the named admission handle, set to
+// the given priority class. Re-requesting an existing name updates its
+// class — a reconnect under a different policy re-prioritizes in place.
+func (g *Governor) Admission(name string, class Class) *Admission {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if a, ok := g.adms[name]; ok {
+		a.SetClass(class)
+		return a
+	}
+	a := &Admission{g: g, name: name}
+	a.SetClass(class)
+	g.adms[name] = a
+	return a
+}
+
+// DropAdmission forgets the named admission; teardown paths call this so a
+// departed connection's handle stops appearing in snapshots.
+func (g *Governor) DropAdmission(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.adms, name)
+}
+
+// SourceBytes reports each registered source's current contribution.
+func (g *Governor) SourceBytes() map[string]int64 {
+	g.mu.Lock()
+	srcs := append([]namedSource(nil), g.sources...)
+	g.mu.Unlock()
+	out := make(map[string]int64, len(srcs))
+	for _, s := range srcs {
+		v := s.fn()
+		if v < 0 {
+			v = 0
+		}
+		out[s.name] += v
+	}
+	return out
+}
+
+// AdmissionSnapshot is one admission handle's counters for the console.
+type AdmissionSnapshot struct {
+	Name            string `json:"name"`
+	Class           string `json:"class"`
+	AdmittedRecords int64  `json:"admittedRecords"`
+	ShedRecords     int64  `json:"shedRecords"`
+	Delays          int64  `json:"delays"`
+}
+
+// Snapshot is one node's governor state for the console (/governor).
+type Snapshot struct {
+	Node          string              `json:"node"`
+	BudgetBytes   int64               `json:"budgetBytes"`
+	TrackedBytes  int64               `json:"trackedBytes"`
+	Pressure      float64             `json:"pressure"`
+	ObserveOnly   bool                `json:"observeOnly,omitempty"`
+	Sources       map[string]int64    `json:"sources"`
+	AdmittedBytes int64               `json:"admittedBytes"`
+	ShedRecords   int64               `json:"shedRecords"`
+	Delays        int64               `json:"delays"`
+	ElasticVetoes int64               `json:"elasticVetoes"`
+	Admissions    []AdmissionSnapshot `json:"admissions,omitempty"`
+}
+
+// Snapshot assembles the console view of this governor.
+func (g *Governor) Snapshot() Snapshot {
+	tracked, pressure := g.measure()
+	s := Snapshot{
+		Node:          g.node,
+		BudgetBytes:   g.budget,
+		TrackedBytes:  tracked,
+		Pressure:      pressure,
+		ObserveOnly:   g.observe,
+		Sources:       g.SourceBytes(),
+		AdmittedBytes: g.AdmittedBytes.Value(),
+		ShedRecords:   g.ShedRecords.Value(),
+		Delays:        g.Delays.Value(),
+		ElasticVetoes: g.ElasticVetoes.Value(),
+	}
+	g.mu.Lock()
+	adms := make([]*Admission, 0, len(g.adms))
+	for _, a := range g.adms {
+		adms = append(adms, a)
+	}
+	g.mu.Unlock()
+	for _, a := range adms {
+		s.Admissions = append(s.Admissions, a.snapshot())
+	}
+	sort.Slice(s.Admissions, func(i, j int) bool { return s.Admissions[i].Name < s.Admissions[j].Name })
+	return s
+}

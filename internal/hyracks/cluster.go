@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -109,6 +110,11 @@ type NodeController struct {
 	id   string
 	dead chan struct{}
 
+	// inflight tracks the bytes of frames enqueued toward this node's
+	// tasks but not yet dequeued — the execution layer's contribution to
+	// the ingestion governor's memory accounting.
+	inflight atomic.Int64
+
 	mu       sync.Mutex
 	services map[string]any
 	killed   bool
@@ -143,6 +149,12 @@ func (n *NodeController) Service(name string) any {
 	defer n.mu.Unlock()
 	return n.services[name]
 }
+
+// InFlightFrameBytes reports the bytes of frames currently queued toward
+// this node's tasks (enqueued by producers, not yet dequeued by runTask).
+func (n *NodeController) InFlightFrameBytes() int64 { return n.inflight.Load() }
+
+func (n *NodeController) addInFlight(delta int64) { n.inflight.Add(delta) }
 
 func (n *NodeController) kill() {
 	n.mu.Lock()

@@ -1,0 +1,16 @@
+// Package hyracks implements a partitioned-parallel dataflow execution
+// engine modeled on Hyracks, the runtime layer of AsterixDB.
+//
+// A Hyracks cluster has one Cluster Controller and a set of Node Controllers
+// that heartbeat their liveness. Clients submit jobs: DAGs of operator
+// descriptors joined by connector descriptors. At activation every operator
+// is cloned into one task per partition, subject to its count or location
+// constraints, and frames of serialized records flow between tasks through
+// bounded queues, which exert natural back-pressure.
+//
+// The cluster in this repository is simulated in-process: every node is an
+// isolated set of goroutines and queues, and hard failures are injected by
+// killing a node, which halts its tasks, drops its queues, and stops its
+// heartbeats — exercising the same detection and recovery paths a physical
+// deployment would.
+package hyracks

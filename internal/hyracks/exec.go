@@ -116,9 +116,13 @@ func (q *inQueue) release() {
 
 // send delivers a frame, blocking for back-pressure. Frames destined to a
 // dead node are dropped; a canceled job aborts the send with an error.
+// Enqueued frame bytes are charged to the receiving node's in-flight
+// account (credited back at dequeue, or when the job's queues are drained
+// at completion); dropped and aborted frames are never charged.
 func (q *inQueue) send(f *Frame, canceled <-chan struct{}) error {
 	select {
 	case q.ch <- f:
+		q.node.addInFlight(int64(f.Bytes()))
 		return nil
 	case <-q.node.dead:
 		return nil // drop: receiver is gone
@@ -129,6 +133,7 @@ func (q *inQueue) send(f *Frame, canceled <-chan struct{}) error {
 	// Slow path: block until one of the above unblocks.
 	select {
 	case q.ch <- f:
+		q.node.addInFlight(int64(f.Bytes()))
 		return nil
 	case <-q.node.dead:
 		return nil
@@ -468,6 +473,17 @@ func (c *Cluster) StartJob(spec *JobSpec) (*JobHandle, error) {
 
 	go func() {
 		j.doneWG.Wait()
+		// Every producer has released every queue by now (router Close runs
+		// in the task defers), so the channels are closed; drain whatever a
+		// canceled or failed task left queued and credit the bytes back to
+		// the in-flight accounts.
+		for _, qs := range inQueues {
+			for _, q := range qs {
+				for f := range q.ch {
+					q.node.addInFlight(-int64(f.Bytes()))
+				}
+			}
+		}
 		j.mu.Lock()
 		switch {
 		case j.err != nil:
@@ -527,6 +543,7 @@ func (c *Cluster) runTask(j *JobHandle, rt OperatorRuntime, in *inQueue, node *N
 			if !ok {
 				return rt.Close()
 			}
+			node.addInFlight(-int64(f.Bytes()))
 			if ob := c.cfg.FrameObserver; ob != nil {
 				ob(node.ID(), opName, f)
 			}

@@ -726,3 +726,52 @@ func TestNodeJoinEventFires(t *testing.T) {
 		t.Fatal("no NodeJoined event")
 	}
 }
+
+// TestInFlightFrameBytesLedger asserts the per-node in-flight frame-byte
+// account — the execution layer's contribution to the ingestion governor's
+// memory picture — returns to zero once a job completes, both on the normal
+// path (every frame dequeued by its consumer) and on the cancel path (the
+// job-completion drain credits back frames a canceled task left queued).
+func TestInFlightFrameBytesLedger(t *testing.T) {
+	t.Run("completed", func(t *testing.T) {
+		c := NewCluster(testConfig(), "A", "B")
+		defer c.Close()
+		col := newCollectOp()
+		spec := &JobSpec{Name: "inflight-done"}
+		gen := spec.AddOperator(&genOp{count: 200}, LocationConstraint("A", "B"))
+		snk := spec.AddOperator(col, LocationConstraint("A", "B"))
+		spec.Connect(gen, snk, OneToOne, nil)
+		j, err := c.StartJob(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []string{"A", "B"} {
+			if got := c.Node(n).InFlightFrameBytes(); got != 0 {
+				t.Fatalf("node %s in-flight bytes = %d after completion, want 0", n, got)
+			}
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		c := NewCluster(testConfig(), "A")
+		defer c.Close()
+		spec := &JobSpec{Name: "inflight-cancel"}
+		gen := spec.AddOperator(&infiniteOp{}, CountConstraint(1))
+		snk := spec.AddOperator(&slowSink{delay: 200 * time.Microsecond}, CountConstraint(1))
+		spec.Connect(gen, snk, OneToOne, nil)
+		j, err := c.StartJob(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond) // let frames pile up in the queue
+		j.Cancel()
+		if err := j.Wait(); !errors.Is(err, ErrJobCanceled) {
+			t.Fatalf("Wait after cancel = %v, want ErrJobCanceled", err)
+		}
+		if got := c.Node("A").InFlightFrameBytes(); got != 0 {
+			t.Fatalf("in-flight bytes = %d after cancel drain, want 0", got)
+		}
+	})
+}

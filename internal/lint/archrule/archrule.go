@@ -59,6 +59,11 @@ var DefaultRules = []Rule{
 	{Pkg: "internal/storage", Allow: []string{"internal/adm", "internal/lsm", "internal/metrics"}},
 	{Pkg: "internal/hyracks", Allow: []string{"internal/metrics"}, Deny: []string{"internal/core"}},
 	{Pkg: "internal/metrics", Allow: []string{}},
+	// The governor is leaf infrastructure like metrics: every layer may
+	// consult it (core gates admission, the root wires budgets), but it must
+	// not know about any of them — byte sources and pressure signals arrive
+	// as injected closures, never as upward imports.
+	{Pkg: "internal/governor", Allow: []string{"internal/metrics"}},
 	{Pkg: "internal/metadata", Allow: []string{"internal/adm", "internal/lsm", "internal/storage"}},
 	{Pkg: "internal/core", Deny: []string{"internal/aql", "internal/experiments", "."}},
 	// The chaos harness observes the LSM strictly through its fault-hook

@@ -21,8 +21,10 @@ import (
 // DefaultPackages are the determinism-critical packages. internal/metrics
 // is included because rate windows and latency reservoirs are timestamped:
 // every read must go through the package's nowFunc hook or deterministic
-// replays would observe wall-clock-dependent rates.
-var DefaultPackages = []string{"internal/core", "internal/hyracks", "internal/metrics"}
+// replays would observe wall-clock-dependent rates. internal/governor is
+// included because token-bucket refills and the pressure cache are
+// timestamped the same way.
+var DefaultPackages = []string{"internal/core", "internal/governor", "internal/hyracks", "internal/metrics"}
 
 // clockFuncs are the time package functions that read the real clock.
 var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}

@@ -1,0 +1,7 @@
+// Package lsm implements a log-structured merge tree: the storage primitive
+// AsterixDB uses for dataset partitions and their indexes. Writes land in a
+// WAL and an in-memory skiplist memtable; full memtables flush to immutable
+// sorted runs on disk, which a tiered merge policy compacts. Reads consult
+// the memtable and then runs from newest to oldest, pruned by per-run bloom
+// filters.
+package lsm

@@ -1,8 +1,3 @@
-// Package metadata implements the AsterixDB system catalog for this
-// reproduction: dataverses, datatypes, datasets, secondary indexes, feeds,
-// datasource adaptors, user-defined functions, and ingestion policies. Like
-// AsterixDB's Metadata dataverse, the catalog is itself record-structured
-// and can be snapshotted to (and reloaded from) the metadata node's storage.
 package metadata
 
 import (
@@ -125,6 +120,10 @@ const (
 	ParamMaxSoftFailures  = "max.consecutive.soft.failures"
 	ParamMemoryBudget     = "memory.budget.records"
 	ParamThrottleMinRatio = "throttle.min.ratio"
+	// ParamPriority declares the feed's governor priority class
+	// ("low", "normal", "high") — beyond the paper, used by the node-wide
+	// ingestion governor to decide shed order under memory pressure.
+	ParamPriority = "ingestion.priority"
 )
 
 // BuiltinPolicies returns the paper's built-in ingestion policies

@@ -1,14 +1,3 @@
-// Package metrics provides the runtime instrumentation shared by the
-// experiment harness and the feedwatch observability layer: bounded windowed
-// counters that yield instantaneous-throughput time series (the y-axis of
-// Figures 6.5 and 7.2–7.12), reservoir-sampling latency recorders, atomic
-// monotonic counters and gauges, and a named-metric Registry with a
-// Prometheus-style text exposition.
-//
-// Every primitive is constant-memory: a WindowedCounter retains at most its
-// capacity in buckets (a ring), a LatencyRecorder at most its reservoir
-// capacity in samples. Long-lived feeds can therefore stay instrumented
-// forever without the registry growing.
 package metrics
 
 import (

@@ -1,0 +1,15 @@
+// Package stormmongo simulates the paper's "glued together" baseline of
+// Chapter 7: Storm (a data routing engine) feeding MongoDB (a persistence
+// store) through its prescribed insert API. The simulation models exactly
+// the mechanisms the comparison hinges on:
+//
+//   - Storm: a spout/bolt topology with tuple acking and replay — data is
+//     routed reliably but per-tuple bookkeeping costs CPU, and persistence
+//     goes through a store client rather than a co-located operator.
+//   - MongoDB (2.x era): a store with a global (per-database) write lock
+//     and a group-committed journal. Durable writes (j=1) block on the next
+//     journal commit (default every 100 ms scaled down here), capping and
+//     serrating throughput (Figure 7.11); non-durable writes acknowledge
+//     from memory, following the offered rate at the risk of loss
+//     (Figure 7.12).
+package stormmongo

@@ -1,0 +1,13 @@
+// Package tweetgen reimplements the paper's TweetGen workload generator
+// (§5.7): a standalone external data source that emits synthetic but
+// meaningful tweets at a configured rate pattern. A pattern descriptor
+// (Listing 5.13) defines a cycle of (duration, rate) intervals repeated a
+// given number of times.
+//
+// TweetGen can run in two modes:
+//   - over TCP (cmd/tweetgen): it listens on a port, waits for the initial
+//     handshake, and pushes newline-delimited JSON tweets at the pattern's
+//     rate — the push-based external source of the experiments;
+//   - in-process: Generator implements core.GeneratorFunc-compatible
+//     emission for tests and benchmarks without sockets.
+package tweetgen

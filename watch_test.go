@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -148,4 +150,51 @@ func getText(t *testing.T, url string) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestMetricsDocMatchesRegistry keeps docs/METRICS.md honest: every series a
+// live instance registers must be documented, and every documented series
+// must still exist. Node names normalize to `node.<n>.` and connection ids
+// to `feed.<conn>.`, matching the doc's placeholder convention.
+func TestMetricsDocMatchesRegistry(t *testing.T) {
+	inst := startTest(t, "A")
+	inst.MustExec(tweetDDL)
+	inst.MustExec(`
+		create feed DocFeed using tweetgen_adaptor ("rate"="3000", "count"="50", "seed"="11");
+		connect feed DocFeed to dataset Tweets using policy Basic;
+	`)
+	waitCount(t, inst, "Tweets", 50, 20*time.Second)
+
+	acts := inst.Feeds().FeedActivity()
+	if len(acts) != 1 {
+		t.Fatalf("feed activity = %d entries, want 1", len(acts))
+	}
+	connID := acts[0].Connection
+
+	live := map[string]bool{}
+	for _, s := range inst.Registry().Snapshot() {
+		name := strings.Replace(s.Name, "feed."+connID+".", "feed.<conn>.", 1)
+		name = strings.Replace(name, "node.A.", "node.<n>.", 1)
+		live[name] = true
+	}
+
+	doc, err := os.ReadFile("docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range regexp.MustCompile("`((?:node|feed)\\.[^`*]+)`").FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+
+	for name := range live {
+		if !documented[name] {
+			t.Errorf("live series %q is not documented in docs/METRICS.md", name)
+		}
+	}
+	for name := range documented {
+		if !live[name] {
+			t.Errorf("docs/METRICS.md documents %q, which no live instance registers", name)
+		}
+	}
 }
